@@ -1,0 +1,87 @@
+"""Ablation: Ok-Topk's individual optimizations toggled one at a time.
+
+Quantifies each design choice called out in DESIGN.md: balanced
+partition, destination rotation, bucketing, data balancing — against the
+full configuration, on the clustered workload where they matter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+
+N, K, P = 32768, 512, 16
+MODEL = NetworkModel(alpha=1e-6, beta=1e-8, gamma=0.0)
+
+VARIANTS = {
+    "full": {},
+    "no balanced partition": {"balanced_partition": False},
+    "no rotation": {"rotation": False},
+    "no bucketing (size 1)": {"bucket_size": 1},
+    "no data balancing": {"data_balancing": False},
+    "all off": {"balanced_partition": False, "rotation": False,
+                "bucket_size": 1, "data_balancing": False},
+}
+
+
+def _clustered_acc(rank: int) -> np.ndarray:
+    rng = np.random.default_rng(37 + rank)
+    acc = rng.normal(0, 0.01, size=N).astype(np.float32)
+    acc[: N // 8] += rng.normal(0, 10.0, size=N // 8).astype(np.float32)
+    return acc
+
+
+def _steady_time(**kwargs) -> float:
+    def prog(comm):
+        algo = make_allreduce("oktopk", k=K, tau_prime=64, **kwargs)
+        acc = _clustered_acc(comm.rank)
+        algo.reduce(comm, acc, 1)
+        start = comm.clock
+        algo.reduce(comm, acc, 2)
+        return comm.clock - start
+
+    return max(run_spmd(P, prog, model=MODEL).results)
+
+
+def test_optimization_ablation(benchmark, report):
+    def run():
+        return {name: _steady_time(**kw) for name, kw in VARIANTS.items()}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = times["full"]
+    rows = [[name, f"{t * 1e6:.1f}", f"{t / base:.2f}x"]
+            for name, t in times.items()]
+    report("ablation_options", format_table(
+        ["variant", "iteration time (us)", "vs full"],
+        rows, title=f"Ablation: Ok-Topk optimizations (P={P}, "
+                    "clustered top-k)"))
+
+    # the full configuration is the fastest (or tied)
+    assert base <= min(times.values()) * 1.02
+    # removing everything is clearly worse
+    assert times["all off"] > 1.2 * base
+
+
+def test_results_equivalent_across_variants(benchmark):
+    """All ablation variants compute the same mathematical result (up to
+    float32 summation-order noise: different partitions reduce region
+    pieces in different orders)."""
+    def run():
+        outs = {}
+        for name, kw in VARIANTS.items():
+            def prog(comm, kw=kw):
+                algo = make_allreduce("oktopk", k=K, tau_prime=1, **kw)
+                return algo.reduce(comm, _clustered_acc(comm.rank), 1)
+
+            outs[name] = run_spmd(P, prog, model=MODEL)[0].update
+        return outs
+
+    outs = benchmark.pedantic(run, rounds=1, iterations=1)
+    ref = outs["full"].to_dense()
+    ref_norm = np.linalg.norm(ref)
+    for name, got in outs.items():
+        assert abs(got.nnz - outs["full"].nnz) <= 2, name
+        diff = np.linalg.norm(got.to_dense() - ref)
+        assert diff <= 5e-2 * ref_norm, (name, diff, ref_norm)

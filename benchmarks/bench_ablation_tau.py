@@ -1,0 +1,88 @@
+"""Ablation: the space-repartition period tau (Section 5.3, paper uses 64).
+
+Sweeps tau for Ok-Topk on a drifting clustered gradient: small tau pays
+the consensus allreduce often; huge tau lets boundaries go stale when the
+top-k coordinate distribution drifts.  Also sweeps the threshold
+re-evaluation period tau' (Section 3.1.3): small tau' pays the sort every
+iteration; large tau' lets the threshold drift off k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+
+N, K, ITERS = 16384, 256, 24
+MODEL = NetworkModel(alpha=1e-6, beta=1e-8)
+
+
+def _drifting_acc(rank: int, t: int, n: int = N) -> np.ndarray:
+    """Top-k cluster slowly slides through the index space."""
+    rng = np.random.default_rng(rank * 1000 + t)
+    acc = rng.normal(0, 0.01, size=n).astype(np.float32)
+    start = (t * n // (4 * ITERS)) % n
+    width = n // 8
+    hot = np.arange(start, start + width) % n
+    acc[hot] += rng.normal(0, 10.0, size=width).astype(np.float32)
+    return acc
+
+
+def _run_tau(p: int, tau: int, tau_prime: int = 8) -> float:
+    def prog(comm):
+        algo = make_allreduce("oktopk", k=K, tau=tau, tau_prime=tau_prime)
+        for t in range(1, ITERS + 1):
+            algo.reduce(comm, _drifting_acc(comm.rank, t), t)
+        return comm.clock
+
+    return max(run_spmd(p, prog, model=MODEL).results)
+
+
+def test_tau_sweep(benchmark, report):
+    def run():
+        return {tau: _run_tau(8, tau) for tau in (1, 4, 16, 64, 10_000)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    best = min(times, key=times.get)
+    rows = [[tau if tau < 10_000 else "inf", f"{t * 1e3:.3f}",
+             "<-- best" if tau == best else ""]
+            for tau, t in times.items()]
+    report("ablation_tau", format_table(
+        ["tau (repartition period)", "total time (ms)", ""],
+        rows, title=f"Ablation: space repartition period "
+                    f"(P=8, {ITERS} iters, drifting top-k)"))
+    # periodic repartition should beat never repartitioning under drift
+    assert min(times[4], times[16], times[64]) <= times[10_000] * 1.05
+
+
+def test_tau_prime_sweep(benchmark, report):
+    """tau' trades sparsification time against selection accuracy."""
+    def _run(tau_prime):
+        def prog(comm):
+            algo = make_allreduce("oktopk", k=K, tau=16,
+                                  tau_prime=tau_prime,
+                                  selection_guard=1e9)
+            devs, spars = [], 0.0
+            for t in range(1, ITERS + 1):
+                res = algo.reduce(comm, _drifting_acc(comm.rank, t), t)
+                devs.append(abs(res.info["selected_local"] - K) / K)
+                spars += res.sparsify_time
+            return float(np.mean(devs)), spars / ITERS
+
+        return run_spmd(2, prog, model=MODEL)[0]
+
+    def run():
+        return {tp: _run(tp) for tp in (1, 4, 16, 64)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[tp, f"{dev:.1%}", f"{spars * 1e6:.1f}"]
+            for tp, (dev, spars) in data.items()]
+    report("ablation_tau_prime", format_table(
+        ["tau' (threshold period)", "mean |selected-k|/k",
+         "sparsify time/iter (us)"],
+        rows, title="Ablation: threshold re-evaluation period"))
+    # fresh thresholds are exact; longer reuse costs selection accuracy
+    assert data[1][0] <= data[64][0] + 1e-9
+    # ...but amortizes the sort cost
+    assert data[64][1] < data[1][1]

@@ -1,0 +1,88 @@
+"""Extension: commodity-network study (the paper's conclusion claim).
+
+"The throughput improvement would be more significant on commodity
+clusters with low-bandwidth network" — evaluated with the analytic model
+at BERT scale across three network presets, and with the executed
+algorithms on the simulated Aries vs commodity fabrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+from repro.costmodel import PAPER_COMPUTE_SECONDS, iteration_seconds
+
+N_BERT = 133_547_324
+K_BERT = N_BERT // 100
+
+PRESETS = {
+    "infiniband": NetworkModel.infiniband(),
+    "aries (Piz Daint raw)": NetworkModel.aries(),
+    "commodity ethernet": NetworkModel.commodity(),
+}
+
+
+def test_speedup_grows_on_slower_networks(benchmark, report):
+    def run():
+        out = {}
+        compute = PAPER_COMPUTE_SECONDS["bert"] * 8
+        for name, net in PRESETS.items():
+            dense = iteration_seconds("dense", N_BERT, 64, K_BERT,
+                                      net, compute_seconds=compute,
+                                      tau_prime=128)["total"]
+            ok = iteration_seconds("oktopk", N_BERT, 64, K_BERT, net,
+                                   compute_seconds=compute,
+                                   tau_prime=128)["total"]
+            out[name] = (dense, ok, dense / ok)
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{d:.3f}", f"{o:.3f}", f"{s:.2f}x"]
+            for name, (d, o, s) in data.items()]
+    report("ext_commodity", format_table(
+        ["network", "Dense (s/iter)", "Ok-Topk (s/iter)", "speedup"],
+        rows, title="Conclusion claim: Ok-Topk speedup vs network "
+                    "(BERT, 64 GPUs, density=1%)"))
+
+    speedups = [s for _, _, s in data.values()]
+    # monotone: slower network -> larger Ok-Topk advantage
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_executed_volume_is_network_independent(benchmark, report):
+    """Sanity: volumes depend on the algorithm, times on the network."""
+    n, p, k = 4096, 8, 64
+
+    def _run(net):
+        def prog(comm):
+            algo = make_allreduce("oktopk", k=k, tau_prime=64)
+            rng = np.random.default_rng(3 + comm.rank)
+            acc = rng.normal(size=n).astype(np.float32)
+            algo.reduce(comm, acc, 1)
+            before = int(comm.net.words_recv[comm.rank])
+            start = comm.clock
+            algo.reduce(comm, acc, 2)
+            return (int(comm.net.words_recv[comm.rank]) - before,
+                    comm.clock - start)
+
+        res = run_spmd(p, prog, model=net)
+        vols = [r[0] for r in res.results]
+        times = [r[1] for r in res.results]
+        return float(np.mean(vols)), float(max(times))
+
+    def run():
+        return {name: _run(net) for name, net in PRESETS.items()}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{v:.0f}", f"{t * 1e6:.1f}"]
+            for name, (v, t) in data.items()]
+    report("ext_commodity_executed", format_table(
+        ["network", "words/rank/iter", "iteration time (us)"],
+        rows, title="Executed Ok-Topk across network presets"))
+
+    vols = [v for v, _ in data.values()]
+    assert max(vols) == min(vols)  # identical traffic
+    times = [t for _, t in data.values()]
+    assert times[2] > times[1] > times[0]  # slower fabric, slower iter

@@ -1,0 +1,77 @@
+"""Extension: sparsification + quantization (Section 2's orthogonal
+technique, combined as in SparCML).
+
+Sweeps the value width of the quantized schemes and reports measured
+volume, simulated iteration time, and the training-quality cost on the
+noisy quadratic."""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+from repro.optim import TopkSGD
+
+N, K, P = 16384, 256, 8
+MODEL = NetworkModel(alpha=1e-6, beta=1e-8)
+
+
+def _volume_and_time(scheme, **kwargs):
+    def prog(comm):
+        algo = make_allreduce(scheme, k=K, tau_prime=64, **kwargs)
+        rng = np.random.default_rng(11 + comm.rank)
+        acc = rng.normal(size=N).astype(np.float32)
+        algo.reduce(comm, acc, 1)
+        before = int(comm.net.words_recv[comm.rank])
+        start = comm.clock
+        algo.reduce(comm, acc, 2)
+        return (int(comm.net.words_recv[comm.rank]) - before,
+                comm.clock - start)
+
+    res = run_spmd(P, prog, model=MODEL)
+    return (float(np.mean([r[0] for r in res.results])),
+            float(max(r[1] for r in res.results)))
+
+
+def _train_error(scheme, **kwargs):
+    n = 256
+    target = np.linspace(-1, 1, n).astype(np.float32)
+
+    def prog(comm):
+        algo = make_allreduce(scheme, k=32, **kwargs)
+        opt = TopkSGD(algo, 0.2, n)
+        w = np.zeros(n, dtype=np.float32)
+        rng = np.random.default_rng(comm.rank)
+        for _ in range(50):
+            noise = rng.normal(0, 0.05, size=n).astype(np.float32)
+            opt.step(comm, w, (w - target) + noise)
+        return float(np.linalg.norm(w - target))
+
+    return max(run_spmd(4, prog).results)
+
+
+def test_quantization_sweep(benchmark, report):
+    def run():
+        out = {"full (32b)": (*_volume_and_time("oktopk"),
+                              _train_error("oktopk"))}
+        for bits in (16, 8, 4):
+            out[f"{bits}-bit"] = (
+                *_volume_and_time("oktopk_q", bits=bits),
+                _train_error("oktopk_q", bits=bits))
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{v:.0f}", f"{t * 1e6:.1f}", f"{e:.3f}"]
+            for name, (v, t, e) in data.items()]
+    report("ext_quantization", format_table(
+        ["values", "words/rank/iter", "iter time (us)", "final L2 error"],
+        rows, title="Extension: Ok-Topk value quantization sweep "
+                    f"(P={P}, k={K})"))
+
+    vols = {name: v for name, (v, _, _) in data.items()}
+    errs = {name: e for name, (_, _, e) in data.items()}
+    # volume strictly decreases with fewer bits
+    assert vols["4-bit"] < vols["8-bit"] < vols["16-bit"] < vols["full (32b)"]
+    # 16-bit is effectively lossless for training quality
+    assert errs["16-bit"] <= errs["full (32b)"] + 0.1

@@ -1,0 +1,64 @@
+"""Figure 10: weak scaling of LSTM on AN4, density 2% (paper P=32, 64)."""
+
+import pytest
+
+from repro.allreduce import PAPER_ORDER
+from repro.bench import format_table, lstm_proxy, paper_scale_breakdown, \
+    train_scheme
+from repro.bench.harness import proxy_network
+
+
+def test_lstm_weak_scaling_paper_scale(benchmark, report):
+    def run():
+        return {p: {s: paper_scale_breakdown("lstm", s, p)
+                    for s in PAPER_ORDER} for p in (32, 64)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by in data.items():
+        rows = [[s, f"{b['sparsification']:.3f}",
+                 f"{b['communication']:.3f}", f"{b['computation+io']:.3f}",
+                 f"{b['total']:.3f}"] for s, b in by.items()]
+        lines.append(format_table(
+            ["scheme", "sparsification (s)", "communication (s)",
+             "computation+io (s)", "total (s)"],
+            rows, title=f"Figure 10 (paper scale): LSTM, {p} GPUs, "
+                        f"density=2%"))
+    report("fig10_lstm_paper_scale", "\n\n".join(lines))
+
+    for p, by in data.items():
+        totals = {s: b["total"] for s, b in by.items()}
+        assert totals["oktopk"] == min(totals.values()), (p, totals)
+    # Paper: on 64 GPUs Ok-Topk outperforms others by 1.34x-7.71x
+    t64 = {s: b["total"] for s, b in data[64].items()}
+    ratios = sorted(t64[s] / t64["oktopk"] for s in PAPER_ORDER
+                    if s != "oktopk")
+    assert ratios[0] > 1.0, ratios
+    assert ratios[-1] < 30.0, ratios
+
+
+def test_lstm_weak_scaling_executed(benchmark, report):
+    def run():
+        out = {}
+        for p in (4, 8):
+            by = {}
+            for scheme in ("dense_ovlp", "topka", "oktopk"):
+                rec = train_scheme(lstm_proxy(), scheme, p, 4,
+                                   density=0.02, network=proxy_network())
+                by[scheme] = rec.mean_breakdown(skip=1)
+            out[p] = by
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by in data.items():
+        rows = [[s, f"{b['sparsification'] * 1e3:.3f}",
+                 f"{b['communication'] * 1e3:.3f}",
+                 f"{b['computation+io'] * 1e3:.3f}",
+                 f"{b['total'] * 1e3:.3f}"] for s, b in by.items()]
+        lines.append(format_table(
+            ["scheme", "sparsify (ms)", "comm (ms)", "compute+io (ms)",
+             "total (ms)"],
+            rows, title=f"Figure 10 (executed proxy): LSTM, P={p}"))
+    report("fig10_lstm_executed", "\n\n".join(lines))
+    assert data[8]["oktopk"]["total"] < data[8]["dense_ovlp"]["total"]

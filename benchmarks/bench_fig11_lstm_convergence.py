@@ -1,0 +1,41 @@
+"""Figure 11: WER vs training time, LSTM proxy.
+
+Shape to reproduce: Ok-Topk reaches a dense-level WER (lower is better)
+with the fastest time-to-solution; sparse schemes can even edge out dense
+WER thanks to sparsification noise (observed by the paper on 64 GPUs)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, lstm_proxy, train_scheme
+from repro.bench.harness import proxy_network
+
+SCHEMES = ["dense_ovlp", "topkdsa", "gaussiank", "oktopk"]
+P = 4
+ITERS = 24
+
+
+def test_lstm_wer_vs_time(benchmark, report):
+    def run():
+        return {s: train_scheme(lstm_proxy(), s, P, ITERS,
+                                density=0.02, eval_every=6,
+                                network=proxy_network())
+                for s in SCHEMES}
+
+    recs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for s, rec in recs.items():
+        wer = rec.final_eval()["wer"]
+        rows.append([s, f"{wer:.3f}", f"{rec.total_time:.4f}"])
+    report("fig11_lstm_convergence", format_table(
+        ["scheme", "final WER", "total sim time (s)"],
+        rows, title=f"Figure 11: LSTM WER vs time (P={P}, density=2%)"))
+
+    wers = {s: recs[s].final_eval()["wer"] for s in SCHEMES}
+    times = {s: recs[s].total_time for s in SCHEMES}
+    # all schemes learn (WER improves well below the ~1.0 start)
+    assert all(w < 0.9 for w in wers.values()), wers
+    # Ok-Topk's WER close to dense
+    assert wers["oktopk"] <= wers["dense_ovlp"] + 0.15
+    # and the fastest total training time
+    assert times["oktopk"] <= min(times.values()) * 1.05

@@ -1,0 +1,81 @@
+"""Figure 12: weak scaling of BERT pre-training, density 1%, up to 256
+GPUs — the paper's headline result (3.29x-12.95x over all baselines on
+256 GPUs, 76.3% parallel efficiency from 32 to 256).
+"""
+
+import pytest
+
+from repro.allreduce import PAPER_ORDER
+from repro.bench import bert_proxy, format_table, paper_scale_breakdown, \
+    train_scheme
+from repro.bench.harness import proxy_network
+
+
+def test_bert_weak_scaling_paper_scale(benchmark, report):
+    def run():
+        return {p: {s: paper_scale_breakdown("bert", s, p, tau_prime=128)
+                    for s in PAPER_ORDER} for p in (32, 64, 256)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by in data.items():
+        rows = [[s, f"{b['sparsification']:.3f}",
+                 f"{b['communication']:.3f}", f"{b['computation+io']:.3f}",
+                 f"{b['total']:.3f}"] for s, b in by.items()]
+        lines.append(format_table(
+            ["scheme", "sparsification (s)", "communication (s)",
+             "computation+io (s)", "total (s)"],
+            rows, title=f"Figure 12 (paper scale): BERT, {p} GPUs, "
+                        f"density=1%"))
+    totals256 = {s: data[256][s]["total"] for s in PAPER_ORDER}
+    speedups = {s: totals256[s] / totals256["oktopk"]
+                for s in PAPER_ORDER if s != "oktopk"}
+    lines.append(format_table(
+        ["baseline", "Ok-Topk speedup at 256 GPUs"],
+        [[s, f"{v:.2f}x"] for s, v in sorted(speedups.items(),
+                                             key=lambda kv: kv[1])],
+        title="Figure 12: Ok-Topk speedups on 256 GPUs "
+              "(paper: 3.29x-12.95x)"))
+
+    # Weak-scaling parallel efficiency of Ok-Topk from 32 to 256 GPUs
+    eff = data[32]["oktopk"]["total"] / data[256]["oktopk"]["total"]
+    lines.append(f"\nOk-Topk weak-scaling efficiency 32->256: {eff:.1%} "
+                 "(paper: 76.3%)")
+    report("fig12_bert_paper_scale", "\n\n".join(lines))
+
+    assert min(speedups.values()) > 1.5
+    assert max(speedups.values()) < 60.0
+    # dense & allgather-based baselines land in the paper's band
+    assert 2.0 < speedups["dense_ovlp"] < 20.0
+    assert eff > 0.5
+
+
+def test_bert_weak_scaling_executed(benchmark, report):
+    def run():
+        out = {}
+        for p in (4, 8):
+            by = {}
+            for scheme in ("dense_ovlp", "topka", "gaussiank", "oktopk"):
+                rec = train_scheme(bert_proxy(), scheme, p, 4,
+                                   density=0.01, network=proxy_network())
+                by[scheme] = rec.mean_breakdown(skip=1)
+            out[p] = by
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by in data.items():
+        rows = [[s, f"{b['sparsification'] * 1e3:.3f}",
+                 f"{b['communication'] * 1e3:.3f}",
+                 f"{b['computation+io'] * 1e3:.3f}",
+                 f"{b['total'] * 1e3:.3f}"] for s, b in by.items()]
+        lines.append(format_table(
+            ["scheme", "sparsify (ms)", "comm (ms)", "compute+io (ms)",
+             "total (ms)"],
+            rows, title=f"Figure 12 (executed proxy): BERT, P={p}, "
+                        f"density=1%"))
+    report("fig12_bert_executed", "\n\n".join(lines))
+
+    for p, by in data.items():
+        assert by["oktopk"]["communication"] <= \
+            by["topka"]["communication"], p

@@ -1,0 +1,63 @@
+"""Figure 2: destination rotation and bucketing in split-and-reduce.
+
+Measures the simulated makespan of Ok-Topk's split-and-reduce exchange
+under the naive (hot-spot) and rotated schedules, plus a bucket-size
+sweep — the two communication-schedule optimizations of Section 3.1.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+
+N, K = 8192, 256
+MODEL = NetworkModel(alpha=1e-6, beta=1e-8, gamma=0.0)
+
+
+def _steady_state_time(p: int, **kwargs) -> float:
+    def prog(comm):
+        algo = make_allreduce("oktopk", k=K, tau_prime=64, **kwargs)
+        rng = np.random.default_rng(5 + comm.rank)
+        acc = rng.normal(size=N).astype(np.float32)
+        algo.reduce(comm, acc, 1)       # warmup (threshold evaluation)
+        start = comm.clock
+        algo.reduce(comm, acc, 2)       # steady state
+        return comm.clock - start
+
+    return max(run_spmd(p, prog, model=MODEL).results)
+
+
+def test_rotation_vs_naive(benchmark, report):
+    def run():
+        out = {}
+        for p in (8, 16):
+            t_naive = _steady_state_time(p, rotation=False)
+            t_rot = _steady_state_time(p, rotation=True)
+            out[p] = (t_naive, t_rot)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for p, (t_naive, t_rot) in times.items():
+        rows.append([p, f"{t_naive * 1e6:.1f}", f"{t_rot * 1e6:.1f}",
+                     f"{t_naive / t_rot:.2f}x"])
+        assert t_rot < t_naive, f"rotation must help at P={p}"
+    report("fig2_rotation", format_table(
+        ["P", "naive schedule (us)", "rotated (us)", "speedup"],
+        rows, title="Figure 2: endpoint-congestion avoidance by rotation"))
+
+
+def test_bucket_size_sweep(benchmark, report):
+    def run():
+        return {b: _steady_state_time(16, bucket_size=b)
+                for b in (1, 2, 4, 8, 15)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[b, f"{t * 1e6:.1f}"] for b, t in times.items()]
+    report("fig2_bucketing", format_table(
+        ["bucket size", "iteration time (us)"], rows,
+        title="Figure 2c: bucketing sweep (P=16)"))
+    # bucketing (b>1) should not be slower than fully serialized steps
+    assert min(times.values()) <= times[1] * 1.05

@@ -1,0 +1,50 @@
+"""Figure 5: the empirical value of ξ (Assumption 1) during training.
+
+Trains each proxy with Ok-Topk at two densities and records ξ every few
+iterations.  The paper's observations to reproduce:
+
+* ξ stays bounded (no blow-up) and well below P for all three models,
+* higher density gives (generally) smaller ξ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import bert_proxy, format_table, lstm_proxy, train_scheme, \
+    vgg_proxy
+
+P = 4
+ITERS = 12
+
+
+def _xi_series(proxy, density):
+    rec = train_scheme(proxy, "oktopk", P, ITERS, density=density,
+                       xi_every=3)
+    return [r.xi for r in rec.records if r.xi is not None]
+
+
+def test_xi_bounded(benchmark, report):
+    def run():
+        out = {}
+        for name, builder in (("vgg16", vgg_proxy), ("lstm", lstm_proxy),
+                              ("bert", bert_proxy)):
+            out[name] = {d: _xi_series(builder(), d)
+                         for d in (0.01, 0.02)}
+        return out
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, by_density in series.items():
+        for d, xs in by_density.items():
+            rows.append([name, f"{d:.0%}",
+                         f"{np.mean(xs):.3f}", f"{np.max(xs):.3f}",
+                         len(xs)])
+    report("fig5_xi", format_table(
+        ["model", "density", "mean xi", "max xi", "#samples"],
+        rows, title=f"Figure 5: empirical xi during training (P={P})"))
+
+    for name, by_density in series.items():
+        for d, xs in by_density.items():
+            assert all(np.isfinite(x) for x in xs), (name, d)
+            # the paper's criterion: xi < P (or not much larger)
+            assert np.mean(xs) < 4 * P, (name, d, xs)

@@ -1,0 +1,69 @@
+"""Figure 6 + Section 5.2: selected-value counts and fill-in statistics.
+
+Reproduces two findings:
+
+* Ok-Topk's local and global selections track the accurate count k
+  (average deviation ~11% in the paper), while Gaussian-k's adjusted
+  threshold still under-selects;
+* TopkA/TopkDSA's *output* density expands by an order of magnitude over
+  the local density (fill-in; 13.2% from 1% for VGG in the paper).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, lstm_proxy, vgg_proxy
+from repro.bench.instrumented import output_density_stats, selection_curves
+
+
+def test_selection_counts_track_k(benchmark, report):
+    """The paper reports <11% average deviation over *full* training; the
+    over-selection transient of the first epochs (visible in its Figure 6
+    too) is excluded by evaluating the second half of the run."""
+    def run():
+        return {
+            "vgg16": selection_curves(vgg_proxy(), density=0.01,
+                                      iterations=24, tau_prime=8),
+            "lstm": selection_curves(lstm_proxy(), density=0.02,
+                                     iterations=24, tau_prime=8),
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def _dev(series, k):
+        tail = series[len(series) // 2:]
+        return np.mean([abs(s - k) / k for s in tail])
+
+    rows = []
+    for name, c in curves.items():
+        rows.append([name, c.k,
+                     f"{np.mean(c.oktopk_local[12:]):.0f} "
+                     f"({_dev(c.oktopk_local, c.k):.1%})",
+                     f"{np.mean(c.oktopk_global[12:]):.0f} "
+                     f"({_dev(c.oktopk_global, c.k):.1%})",
+                     f"{np.mean(c.gaussian[12:]):.0f}"])
+    report("fig6_selection", format_table(
+        ["model", "accurate k", "oktopk local (dev)", "oktopk global (dev)",
+         "gaussiank"],
+        rows,
+        title="Figure 6: number of selected values (steady-state mean)"))
+
+    for name, c in curves.items():
+        assert _dev(c.oktopk_local, c.k) < 0.5, name
+        # the global selection is capped at ~k by construction
+        assert np.mean(c.oktopk_global[12:]) <= 1.6 * c.k, name
+
+
+def test_fill_in_expansion(benchmark, report):
+    def run():
+        return output_density_stats(vgg_proxy(), p=4, density=0.01)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [["vgg16 (TopkA output)", f"{stats['local_density']:.1%}",
+             f"{stats['output_density']:.1%}",
+             f"{stats['expansion']:.1f}x"]]
+    report("fig6_fill_in", format_table(
+        ["workload", "local density", "output density", "expansion"],
+        rows, title="Section 5.2: fill-in of allgather-based reduction"))
+    # P=4 workers with barely-overlapping supports: expect ~P-fold growth
+    assert stats["expansion"] > 2.0

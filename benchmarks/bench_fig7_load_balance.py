@@ -1,0 +1,102 @@
+"""Figure 7: load-balancing optimizations of Ok-Topk.
+
+(a) split-and-reduce with the balanced (consensus) partition vs the naive
+    equal partition, on gradients whose top-k values cluster in a narrow
+    index range (as real layer-wise gradients do);
+(b) balance-and-allgatherv with data balancing on vs off, when the global
+    top-k values concentrate in one worker's region.
+
+Both effects grow with P, matching the paper's 1.13x-1.75x / 1.12x-1.43x.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import make_allreduce
+from repro.bench import format_table
+from repro.comm import NetworkModel, run_spmd
+
+N, K = 16384, 256
+MODEL = NetworkModel(alpha=1e-6, beta=1e-8, gamma=0.0)
+
+
+def _clustered_acc(rank: int, n: int = N) -> np.ndarray:
+    """Top-k values live in the first eighth of the space on all ranks."""
+    rng = np.random.default_rng(23 + rank)
+    acc = rng.normal(0, 0.01, size=n).astype(np.float32)
+    acc[: n // 8] += rng.normal(0, 10.0, size=n // 8).astype(np.float32)
+    return acc
+
+
+def _reduce_time(p: int, **kwargs) -> float:
+    def prog(comm):
+        algo = make_allreduce("oktopk", k=K, tau_prime=64, **kwargs)
+        acc = _clustered_acc(comm.rank)
+        algo.reduce(comm, acc, 1)
+        start = comm.clock
+        algo.reduce(comm, acc, 2)
+        return comm.clock - start
+
+    return max(run_spmd(p, prog, model=MODEL).results)
+
+
+def test_balanced_vs_naive_reduce(benchmark, report):
+    def run():
+        out = {}
+        for p in (8, 16, 32):
+            t_naive = _reduce_time(p, balanced_partition=False)
+            t_bal = _reduce_time(p, balanced_partition=True)
+            out[p] = (t_naive, t_bal)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, f"{a * 1e6:.1f}", f"{b * 1e6:.1f}", f"{a / b:.2f}x"]
+            for p, (a, b) in times.items()]
+    report("fig7a_balanced_reduce", format_table(
+        ["P", "naive reduce (us)", "balanced reduce (us)", "speedup"],
+        rows, title="Figure 7a: balanced split-and-reduce speedup"))
+
+    speedups = [a / b for a, b in times.values()]
+    assert all(s > 1.0 for s in speedups)
+    # speedup grows with P (the paper's trend)
+    assert speedups[-1] >= speedups[0]
+
+
+def _gather_time(p: int, **kwargs) -> float:
+    """Like _reduce_time but in the bandwidth-dominant regime the paper's
+    BERT runs occupy (k large relative to P*alpha/beta)."""
+    n, k = 1 << 17, 4096
+
+    def prog(comm):
+        algo = make_allreduce("oktopk", k=k, tau_prime=64,
+                              balanced_partition=False, **kwargs)
+        rng = np.random.default_rng(29 + comm.rank)
+        acc = rng.normal(0, 0.01, size=n).astype(np.float32)
+        acc[: n // 8] += rng.normal(0, 10.0, size=n // 8).astype(np.float32)
+        algo.reduce(comm, acc, 1)
+        start = comm.clock
+        algo.reduce(comm, acc, 2)
+        return comm.clock - start
+
+    return max(run_spmd(p, prog, model=MODEL).results)
+
+
+def test_data_balancing_vs_direct(benchmark, report):
+    def run():
+        out = {}
+        for p in (8, 16, 32):
+            t_direct = _gather_time(p, data_balancing=False)
+            t_bal = _gather_time(p, data_balancing=True,
+                                 balance_trigger=2.0)
+            out[p] = (t_direct, t_bal)
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[p, f"{a * 1e6:.1f}", f"{b * 1e6:.1f}", f"{a / b:.2f}x"]
+            for p, (a, b) in times.items()]
+    report("fig7b_data_balancing", format_table(
+        ["P", "direct allgatherv (us)", "balance+allgatherv (us)",
+         "speedup"],
+        rows, title="Figure 7b: data balancing before allgatherv"))
+    # With all global top-k in one region, balancing must help at scale.
+    assert times[32][0] / times[32][1] > 1.0

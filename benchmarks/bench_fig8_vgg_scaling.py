@@ -1,0 +1,89 @@
+"""Figure 8: weak scaling of VGG-16 on Cifar-10, density 2%.
+
+Two tiers (DESIGN.md section 4):
+
+* executed proxy: real training of the width-reduced VGG on simulated
+  ranks (P = 4, 8), measuring the per-iteration breakdown
+  (sparsification / communication / computation+io);
+* paper scale: the calibrated analytic model at n = 14,728,266 and the
+  paper's P = 16 and 32, printed as the same bar rows.
+"""
+
+import pytest
+
+from repro.allreduce import PAPER_ORDER
+from repro.bench import format_table, paper_scale_breakdown, train_scheme, \
+    vgg_proxy
+from repro.bench.harness import proxy_network
+
+SCHEMES = PAPER_ORDER
+
+
+def test_vgg_weak_scaling_paper_scale(benchmark, report):
+    def run():
+        return {p: {s: paper_scale_breakdown("vgg16", s, p)
+                    for s in SCHEMES} for p in (16, 32)}
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by_scheme in data.items():
+        rows = [[s, f"{b['sparsification']:.3f}",
+                 f"{b['communication']:.3f}", f"{b['computation+io']:.3f}",
+                 f"{b['total']:.3f}"] for s, b in by_scheme.items()]
+        lines.append(format_table(
+            ["scheme", "sparsification (s)", "communication (s)",
+             "computation+io (s)", "total (s)"],
+            rows, title=f"Figure 8 (paper scale): VGG-16, {p} GPUs, "
+                        f"density=2%"))
+    report("fig8_vgg_paper_scale", "\n\n".join(lines))
+
+    for p, by in data.items():
+        # Ok-Topk has the lowest communication cost of the sparse schemes
+        comm = {s: b["communication"] for s, b in by.items()}
+        assert comm["oktopk"] == min(comm.values()), (p, comm)
+        # allgather-based schemes roughly double their comm from 16->32
+    growth = (data[32]["topka"]["communication"]
+              / data[16]["topka"]["communication"])
+    assert growth > 1.7
+    ok_growth = (data[32]["oktopk"]["communication"]
+                 / data[16]["oktopk"]["communication"])
+    assert ok_growth < 1.3
+
+
+def test_vgg_weak_scaling_executed(benchmark, report):
+    def run():
+        out = {}
+        for p in (4, 8):
+            by = {}
+            for scheme in ("dense", "dense_ovlp", "topka", "gaussiank",
+                           "oktopk"):
+                rec = train_scheme(vgg_proxy(), scheme, p, 4,
+                                   density=0.02,
+                                   network=proxy_network())
+                by[scheme] = rec.mean_breakdown(skip=1)
+            out[p] = by
+        return out
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for p, by in data.items():
+        rows = [[s, f"{b['sparsification'] * 1e3:.3f}",
+                 f"{b['communication'] * 1e3:.3f}",
+                 f"{b['computation+io'] * 1e3:.3f}",
+                 f"{b['total'] * 1e3:.3f}"] for s, b in by.items()]
+        lines.append(format_table(
+            ["scheme", "sparsify (ms)", "comm (ms)", "compute+io (ms)",
+             "total (ms)"],
+            rows, title=f"Figure 8 (executed proxy): VGG, P={p}, "
+                        f"density=2%, bandwidth-scaled network"))
+    report("fig8_vgg_executed", "\n\n".join(lines))
+
+    for p, by in data.items():
+        # headline: Ok-Topk beats the dense schemes end to end
+        assert by["oktopk"]["total"] < by["dense"]["total"], p
+    # TopkA's comm grows with P while Ok-Topk's stays ~flat
+    topka_growth = (data[8]["topka"]["communication"]
+                    / data[4]["topka"]["communication"])
+    ok_growth = (data[8]["oktopk"]["communication"]
+                 / data[4]["oktopk"]["communication"])
+    assert topka_growth > ok_growth

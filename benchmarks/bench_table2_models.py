@@ -1,0 +1,53 @@
+"""Table 2: the evaluation models and their parameter counts."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.nn.models import (
+    AN4_FULL_HIDDEN,
+    PAPER_BERT_PARAMS,
+    PAPER_LSTM_PARAMS,
+    PAPER_VGG16_PARAMS,
+    bert_base_param_count,
+    lstm_speech_param_count,
+    make_vgg16_model,
+    vgg16_param_count,
+)
+
+
+def test_table2_parameter_counts(benchmark, report):
+    def counts():
+        return {
+            "vgg16": vgg16_param_count(1.0),
+            "lstm": lstm_speech_param_count(hidden=AN4_FULL_HIDDEN),
+            "bert": bert_base_param_count(),
+        }
+
+    got = benchmark.pedantic(counts, rounds=3, iterations=1)
+    paper = {"vgg16": PAPER_VGG16_PARAMS, "lstm": PAPER_LSTM_PARAMS,
+             "bert": PAPER_BERT_PARAMS}
+    tasks = {"vgg16": ("Image classification", "Cifar-10 (synthetic)"),
+             "lstm": ("Speech recognition", "AN4 (synthetic)"),
+             "bert": ("Language processing", "Wikipedia (synthetic)")}
+    rows = []
+    for name in ("vgg16", "lstm", "bert"):
+        dev = (got[name] - paper[name]) / paper[name]
+        rows.append([tasks[name][0], name, f"{got[name]:,}",
+                     f"{paper[name]:,}", f"{dev:+.4%}", tasks[name][1]])
+    report("table2_models", format_table(
+        ["task", "model", "ours", "paper", "deviation", "dataset"],
+        rows, title="Table 2: neural networks used for evaluation"))
+
+    assert got["vgg16"] == paper["vgg16"]            # exact
+    assert got["bert"] == paper["bert"]              # exact
+    assert abs(got["lstm"] - paper["lstm"]) / paper["lstm"] < 1e-3
+
+
+def test_model_forward_throughput(benchmark):
+    """Sanity benchmark: a width-reduced VGG forward pass."""
+    model = make_vgg16_model(width_mult=0.05)
+    x = np.random.default_rng(0).normal(
+        size=(8, 3, 32, 32)).astype(np.float32)
+
+    benchmark(lambda: model.predict(x))

@@ -1,0 +1,22 @@
+"""Shared fixtures for the paper-figure benchmarks.
+
+Every benchmark writes its paper-style table/series to
+``benchmarks/results/<name>.txt`` and prints it (visible with ``-s`` or in
+the teed bench output)."""
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    RESULTS.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text + "\n")
+
+    return _write

@@ -1,0 +1,58 @@
+"""Image classification (the paper's VGG-16 / Cifar-10 workload).
+
+Trains a width-reduced VGG-16 on the synthetic CIFAR-like dataset with
+data-parallel workers, comparing dense allreduce against Ok-Topk —
+reproducing the Figure 9 story at laptop scale: similar accuracy, much
+less communication time.
+
+    python examples/image_classification.py [--workers 4] [--iters 30]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.bench.harness import proxy_network
+from repro.comm import run_spmd
+from repro.data import ShardedLoader, make_cifar_like
+from repro.nn.models import make_vgg16_model
+from repro.train import Trainer, TrainerConfig, top1_accuracy
+
+
+def worker(comm, scheme, iters):
+    train, test = make_cifar_like(128, 32, image_size=32, noise=0.6, seed=0)
+    model = make_vgg16_model(width_mult=0.05, seed=42)
+    loader = ShardedLoader(train, 16, comm.rank, comm.size, seed=1)
+
+    def evaluate(m):
+        return {"acc": top1_accuracy(m.predict(test.x), test.y)}
+
+    cfg = TrainerConfig(iterations=iters, scheme=scheme, density=0.05,
+                        lr=0.05, eval_every=max(1, iters // 3))
+    return Trainer(comm, model, loader, cfg, eval_fn=evaluate).run()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--iters", type=int, default=30)
+    args = ap.parse_args()
+
+    print(f"Training VGG-16 (width 0.05) on {args.workers} simulated "
+          f"workers, {args.iters} iterations, density 5%\n")
+    print(f"{'scheme':<12} {'final acc':>10} {'sim time (s)':>14} "
+          f"{'comm share':>11}")
+    for scheme in ("dense", "dense_ovlp", "oktopk"):
+        rec = run_spmd(args.workers, worker, scheme, args.iters,
+                       model=proxy_network())[0]
+        acc = rec.final_eval()["acc"]
+        bd = rec.mean_breakdown(skip=1)
+        share = bd["communication"] / bd["total"]
+        print(f"{scheme:<12} {acc:>10.3f} {rec.total_time:>14.4f} "
+              f"{share:>10.1%}")
+    print("\nOk-Topk reaches dense-level accuracy with a fraction of the "
+          "communication (Figure 9 shape).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scaling study: measured volumes and paper-scale projections.
+
+Part 1 executes every allreduce scheme on simulated ranks and measures
+the per-rank communication volume as P grows (the scalability argument of
+Sections 1-3).  Part 2 evaluates the calibrated analytic model at the
+paper's BERT scale (n = 133.5M, up to 256 GPUs) and prints the Figure 12
+weak-scaling table, including Ok-Topk's speedups.
+
+    python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.allreduce import PAPER_ORDER
+from repro.bench import format_table, paper_scale_breakdown
+from repro.costmodel import measure_steady_state_volume
+
+N, K = 8192, 128
+
+
+def main():
+    print("Part 1: measured per-rank receive volume (words/iteration), "
+          f"n={N}, k={K}\n")
+    ps = (4, 8, 16)
+    rows = []
+    for scheme in PAPER_ORDER:
+        kwargs = {"tau_prime": 64} if scheme == "oktopk" else {}
+        vols = [measure_steady_state_volume(scheme, N, p, K, **kwargs)
+                for p in ps]
+        rows.append([scheme] + [f"{v:.0f}" for v in vols])
+    print(format_table(["scheme"] + [f"P={p}" for p in ps], rows))
+
+    print("\n\nPart 2: paper-scale projection, BERT (n=133.5M), "
+          "density=1%\n")
+    for p in (32, 256):
+        rows = []
+        for scheme in PAPER_ORDER:
+            b = paper_scale_breakdown("bert", scheme, p, tau_prime=128)
+            rows.append([scheme, f"{b['sparsification']:.3f}",
+                         f"{b['communication']:.3f}",
+                         f"{b['computation+io']:.3f}",
+                         f"{b['total']:.3f}"])
+        print(format_table(
+            ["scheme", "sparsify (s)", "comm (s)", "compute+io (s)",
+             "total (s)"], rows,
+            title=f"{p} GPUs"))
+        print()
+    t = {s: paper_scale_breakdown("bert", s, 256, tau_prime=128)["total"]
+         for s in PAPER_ORDER}
+    speedups = sorted(t[s] / t["oktopk"] for s in PAPER_ORDER
+                      if s != "oktopk")
+    print(f"Ok-Topk speedup over the other schemes at 256 GPUs: "
+          f"{speedups[0]:.2f}x .. {speedups[-1]:.2f}x "
+          "(paper reports 3.29x .. 12.95x)")
+
+
+if __name__ == "__main__":
+    main()

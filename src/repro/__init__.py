@@ -1,0 +1,42 @@
+"""repro: reproduction of "Near-Optimal Sparse Allreduce for Distributed
+Deep Learning" (Ok-Topk, Li & Hoefler, PPoPP 2022).
+
+Layers (bottom-up):
+
+* :mod:`repro.comm` — simulated SPMD/MPI substrate with an alpha-beta
+  network cost model and link contention.
+* :mod:`repro.sparse` — COO sparse gradients, top-k selection, threshold
+  estimation, gradient-space partitioning.
+* :mod:`repro.allreduce` — the paper's six (sparse) allreduce schemes:
+  Dense, DenseOvlp, TopkA, TopkDSA, gTopk, Gaussiank, OkTopk.
+* :mod:`repro.optim` / :mod:`repro.train` — Ok-Topk SGD (Algorithm 2) with
+  residual accumulation, and the data-parallel trainer.
+* :mod:`repro.nn` / :mod:`repro.data` — pure-numpy neural networks (VGG-16,
+  LSTM, BERT) and seeded synthetic datasets standing in for CIFAR-10 / AN4 /
+  Wikipedia.
+* :mod:`repro.costmodel` — the analytic Table 1 model and paper-scale
+  projections.
+"""
+
+__version__ = "1.0.0"
+
+from .errors import (
+    CommError,
+    ConfigError,
+    MatchError,
+    PartitionError,
+    RankFailedError,
+    ReproError,
+    SparseFormatError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CommError",
+    "RankFailedError",
+    "MatchError",
+    "SparseFormatError",
+    "PartitionError",
+    "ConfigError",
+]

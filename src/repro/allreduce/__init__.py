@@ -1,0 +1,32 @@
+"""The paper's gradient (sparse) allreduce algorithms (Table 1)."""
+
+from .base import (
+    PHASE_COMM,
+    PHASE_SPARSIFY,
+    AllreduceResult,
+    GradientAllreduce,
+)
+from .dense import DenseAllreduce, DenseOvlpAllreduce
+from .gaussiank import GaussiankAllreduce
+from .gtopk import GTopkAllreduce
+from .oktopk import OkTopkAllreduce
+from .registry import ALGORITHMS, PAPER_ORDER, make_allreduce
+from .topk_a import TopkAAllreduce
+from .topk_dsa import TopkDSAAllreduce
+
+__all__ = [
+    "AllreduceResult",
+    "GradientAllreduce",
+    "PHASE_COMM",
+    "PHASE_SPARSIFY",
+    "DenseAllreduce",
+    "DenseOvlpAllreduce",
+    "TopkAAllreduce",
+    "TopkDSAAllreduce",
+    "GTopkAllreduce",
+    "GaussiankAllreduce",
+    "OkTopkAllreduce",
+    "ALGORITHMS",
+    "PAPER_ORDER",
+    "make_allreduce",
+]

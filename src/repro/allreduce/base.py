@@ -1,0 +1,120 @@
+"""Common protocol for the paper's (sparse) gradient allreduce schemes.
+
+Every algorithm implements :class:`GradientAllreduce.reduce`:
+
+* input: the local accumulated gradient ``acc`` (residuals + fresh gradient,
+  Algorithm 2 line 4) as a dense float32 vector, plus the 1-based training
+  iteration ``t`` (several schemes key periodic work off ``t``);
+* output: an :class:`AllreduceResult` whose ``update`` holds the *summed*
+  update across the P workers (the optimizer divides by P), and whose
+  ``contributed_indices`` identify which local entries made it into the
+  update and must therefore be cleared from the residual.
+
+Algorithms are stateful per worker (cached thresholds, region boundaries),
+so the trainer constructs one instance per rank via ``make_per_rank``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from ..comm import SimComm
+from ..errors import ConfigError
+from ..sparse import COOVector
+
+PHASE_SPARSIFY = "sparsification"
+PHASE_COMM = "communication"
+
+
+@dataclass
+class AllreduceResult:
+    """Outcome of one gradient allreduce.
+
+    Attributes:
+        update: the reduced update, summed over workers; a :class:`COOVector`
+            for sparse schemes or a dense ndarray for the dense baselines.
+        contributed_indices: sorted indices of *local* ``acc`` entries that
+            contributed to ``update`` (``None`` means "all of them", as for
+            dense allreduce).
+        phase_times: simulated seconds spent per phase
+            (``sparsification`` / ``communication``) for the Figure 8/10/12
+            breakdowns.
+        info: algorithm-specific metrics (selected counts, fill-in, whether
+            data balancing triggered, ...).
+        overlappable: True when the communication can be overlapped with
+            backpropagation (DenseOvlp); the trainer applies the credit.
+    """
+
+    update: Union[COOVector, np.ndarray]
+    contributed_indices: Optional[np.ndarray]
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    info: Dict[str, Any] = field(default_factory=dict)
+    overlappable: bool = False
+
+    def update_dense(self, n: int) -> np.ndarray:
+        """The update as a dense vector of length ``n``."""
+        if isinstance(self.update, COOVector):
+            return self.update.to_dense()
+        return self.update
+
+    @property
+    def comm_time(self) -> float:
+        return self.phase_times.get(PHASE_COMM, 0.0)
+
+    @property
+    def sparsify_time(self) -> float:
+        return self.phase_times.get(PHASE_SPARSIFY, 0.0)
+
+
+class GradientAllreduce(ABC):
+    """Base class; concrete schemes override :meth:`_reduce`."""
+
+    #: registry name, e.g. "oktopk"; set by subclasses
+    name: str = "?"
+    #: whether the scheme sparsifies (False for the dense baselines)
+    sparse: bool = True
+
+    def __init__(self, *, k: Optional[int] = None,
+                 density: Optional[float] = None):
+        if k is not None and k < 1:
+            raise ConfigError(f"k must be >= 1, got {k}")
+        if density is not None and not 0.0 < density <= 1.0:
+            raise ConfigError(f"density must be in (0, 1], got {density}")
+        if k is None and density is None and self.sparse:
+            raise ConfigError(f"{type(self).__name__} needs k or density")
+        self._k = k
+        self._density = density
+
+    def resolve_k(self, n: int) -> int:
+        """The per-iteration k for a gradient of ``n`` components."""
+        if self._k is not None:
+            return min(self._k, n)
+        if self._density is None:
+            return n
+        return max(1, int(round(self._density * n)))
+
+    def reduce(self, comm: SimComm, acc: np.ndarray,
+               t: int) -> AllreduceResult:
+        """Run one allreduce at iteration ``t`` (1-based)."""
+        if acc.ndim != 1:
+            raise ValueError("acc must be a flat gradient vector")
+        if t < 1:
+            raise ValueError(f"iteration t must be >= 1, got {t}")
+        acc = np.ascontiguousarray(acc, dtype=np.float32)
+        comm.phase_times(reset=True)
+        result = self._reduce(comm, acc, t)
+        result.phase_times = comm.phase_times(reset=True)
+        return result
+
+    @abstractmethod
+    def _reduce(self, comm: SimComm, acc: np.ndarray,
+                t: int) -> AllreduceResult:
+        ...
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sel = f"k={self._k}" if self._k is not None else f"density={self._density}"
+        return f"{type(self).__name__}({sel})"

@@ -1,0 +1,62 @@
+"""Dense baselines: ``Dense`` and ``DenseOvlp`` (Section 5, Table 1 row 1).
+
+``Dense`` performs a single allreduce on the full flat gradient with
+Rabenseifner's algorithm — bandwidth-optimal ``2 n (P-1)/P``.
+
+``DenseOvlp`` groups the gradient into buckets and fires one allreduce per
+bucket; in the paper this overlaps with backpropagation.  The bucketed
+execution is real (extra latency terms and all); the overlap credit against
+backward compute is applied by the trainer, which knows the backward time
+(``result.overlappable = True`` signals it may do so).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm import SimComm, collectives as coll
+from .base import PHASE_COMM, AllreduceResult, GradientAllreduce
+
+
+class DenseAllreduce(GradientAllreduce):
+    """Single monolithic dense allreduce of the aggregated gradient."""
+
+    name = "dense"
+    sparse = False
+
+    def __init__(self, *, algo: str = "auto", **kwargs):
+        super().__init__(**kwargs)
+        self.algo = algo
+
+    def _reduce(self, comm: SimComm, acc: np.ndarray,
+                t: int) -> AllreduceResult:
+        with comm.phase(PHASE_COMM):
+            total = coll.allreduce(comm, acc, algo=self.algo)
+        return AllreduceResult(update=total, contributed_indices=None)
+
+
+class DenseOvlpAllreduce(GradientAllreduce):
+    """Bucketed dense allreduce enabling communication/computation overlap."""
+
+    name = "dense_ovlp"
+    sparse = False
+
+    def __init__(self, *, nbuckets: int = 4, algo: str = "auto", **kwargs):
+        super().__init__(**kwargs)
+        if nbuckets < 1:
+            raise ValueError("nbuckets must be >= 1")
+        self.nbuckets = nbuckets
+        self.algo = algo
+
+    def _reduce(self, comm: SimComm, acc: np.ndarray,
+                t: int) -> AllreduceResult:
+        n = acc.size
+        nb = min(self.nbuckets, max(1, n))
+        bounds = np.linspace(0, n, nb + 1).astype(np.int64)
+        out = np.empty_like(acc)
+        with comm.phase(PHASE_COMM):
+            for b in range(nb):
+                lo, hi = int(bounds[b]), int(bounds[b + 1])
+                out[lo:hi] = coll.allreduce(comm, acc[lo:hi], algo=self.algo)
+        return AllreduceResult(update=out, contributed_indices=None,
+                               info={"nbuckets": nb}, overlappable=True)

@@ -1,0 +1,298 @@
+"""Ok-Topk's O(k) sparse allreduce (Algorithm 1 and Section 3 of the paper).
+
+Two phases per iteration:
+
+1. **split and reduce** — the gradient space is partitioned into P regions
+   (boundaries balanced over the local top-k coordinate distribution and
+   agreed by consensus averaging every ``tau`` iterations); worker ``i``
+   reduces region ``i``.  Messages follow a destination-rotation schedule
+   and are grouped into buckets whose local reduction overlaps the next
+   bucket's transfers (Figure 2).  Cost: ``(P-1) alpha + 2k (P-1)/P beta``.
+
+2. **balance and allgatherv** — each worker selects the global top-k values
+   inside its region with an estimated global threshold, packages them, and
+   (only when the package sizes are skewed by more than ``balance_trigger``
+   times the average) rebalances the packages with point-to-point moves
+   before the final recursive-doubling/Bruck allgatherv.  Cost bounded by
+   ``(P + 2 log P) alpha + 4k (P-1)/P beta``.
+
+Thresholds: both the local and the global top-k thresholds are re-evaluated
+exactly (sort-based) every ``tau_prime`` iterations and *reused* in between
+(Section 3.1.3), making the per-iteration selection a single linear scan.
+
+Total: less than ``6k (P-1)/P`` bandwidth — asymptotically optimal against
+the ``2k (P-1)/P`` lower bound of Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..comm import SimComm, collectives as coll
+from ..sparse import (
+    COOVector,
+    balanced_boundaries_local,
+    combine_sum,
+    equal_boundaries,
+    exact_topk,
+    kth_largest_abs,
+    sanitize_boundaries,
+    threshold_select,
+)
+from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
+from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
+from .schedule import buckets, make_steps
+
+_TAG_SR = (1 << 21) + 21      # split-and-reduce region pieces
+_TAG_BAL = (1 << 21) + 22     # data-balancing moves
+
+
+class OkTopkAllreduce(GradientAllreduce):
+    """The paper's scheme, with every optimization toggleable for ablations.
+
+    Args:
+        tau: space-repartition period (paper: 64).
+        tau_prime: threshold re-evaluation period (paper: 32 or 128).
+        balanced_partition: use the balanced split (False = naive equal).
+        rotation: destination rotation in split-and-reduce (Figure 2b).
+        bucket_size: messages per bucket in split-and-reduce (Figure 2c).
+        data_balancing: enable the pre-allgatherv balancing step.
+        balance_trigger: run balancing when ``max size > trigger * avg``
+            (paper: 4).
+        selection_guard: re-evaluate a stale threshold immediately when the
+            selected count leaves ``[k/guard, guard*k]`` (implementation
+            safeguard; the paper tolerates ~11% deviation, the guard only
+            catches pathological drift).
+    """
+
+    name = "oktopk"
+
+    def __init__(self, *, tau: int = 64, tau_prime: int = 32,
+                 balanced_partition: bool = True, rotation: bool = True,
+                 bucket_size: int = 8, data_balancing: bool = True,
+                 balance_trigger: float = 4.0, selection_guard: float = 3.0,
+                 **kwargs):
+        super().__init__(**kwargs)
+        if tau < 1 or tau_prime < 1:
+            raise ValueError("tau and tau_prime must be >= 1")
+        self.tau = tau
+        self.tau_prime = tau_prime
+        self.balanced_partition = balanced_partition
+        self.rotation = rotation
+        self.bucket_size = bucket_size
+        self.data_balancing = data_balancing
+        self.balance_trigger = balance_trigger
+        self.selection_guard = selection_guard
+        # per-worker reused state
+        self._n: Optional[int] = None
+        self._local_th: Optional[float] = None
+        self._global_th: Optional[float] = None
+        self._boundaries: Optional[np.ndarray] = None
+        self.local_evaluations = 0
+        self.global_evaluations = 0
+        self.repartitions = 0
+        self.balancing_triggered = 0
+
+    # ------------------------------------------------------------------
+    def _due(self, t: int, period: int) -> bool:
+        return (t - 1) % period == 0
+
+    def _reset_state_if_needed(self, n: int) -> None:
+        if self._n != n:
+            self._n = n
+            self._local_th = None
+            self._global_th = None
+            self._boundaries = None
+
+    # ------------------------------------------------------------------
+    # Local selection (Algorithm 1 lines 2-4)
+    # ------------------------------------------------------------------
+    def _select_local(self, comm: SimComm, acc: np.ndarray,
+                      k: int, t: int) -> COOVector:
+        n = acc.size
+        if self._local_th is None or self._due(t, self.tau_prime):
+            self._local_th = kth_largest_abs(acc, k)
+            self.local_evaluations += 1
+            comm.compute_sort(n)
+        comm.compute_scan(n)
+        if self._local_th <= 0.0:
+            # Degenerate (all-zero accumulator or k >= n): exact selection.
+            return exact_topk(acc, k)
+        local = threshold_select(acc, self._local_th)
+        g = self.selection_guard
+        if local.nnz > g * k or local.nnz * g < k:
+            # Stale threshold drifted too far: re-evaluate immediately.
+            self._local_th = kth_largest_abs(acc, k)
+            self.local_evaluations += 1
+            comm.compute_sort(n)
+            comm.compute_scan(n)
+            local = (threshold_select(acc, self._local_th)
+                     if self._local_th > 0 else exact_topk(acc, k))
+        return local
+
+    # ------------------------------------------------------------------
+    # Space repartition (Algorithm 1 lines 5-7)
+    # ------------------------------------------------------------------
+    def _repartition(self, comm: SimComm, local: COOVector, n: int,
+                     t: int) -> np.ndarray:
+        if self._boundaries is not None and not self._due(t, self.tau):
+            return self._boundaries
+        p = comm.size
+        if self.balanced_partition:
+            proposal = balanced_boundaries_local(local.indices, n, p)
+        else:
+            proposal = equal_boundaries(n, p).astype(np.float64)
+        summed = coll.allreduce_recursive_doubling(comm, proposal)
+        self._boundaries = sanitize_boundaries(summed / p, n)
+        self.repartitions += 1
+        return self._boundaries
+
+    # ------------------------------------------------------------------
+    # Phase 1: split and reduce (Section 3.1.1)
+    # ------------------------------------------------------------------
+    def _split_and_reduce(self, comm: SimComm, local: COOVector,
+                          boundaries: np.ndarray) -> COOVector:
+        p, r = comm.size, comm.rank
+        pieces = local.split(boundaries)
+        comm.compute_scan(local.nnz)
+        reduced = pieces[r]
+        if p == 1:
+            return reduced
+        steps = make_steps(r, p, self.rotation)
+        prev: List[COOVector] = []
+        for bucket in buckets(steps, self.bucket_size):
+            reqs = []
+            recv_count = 0
+            for step in bucket:
+                for src in step.recv_from:
+                    reqs.append(comm.irecv(src, _TAG_SR))
+                    recv_count += 1
+                for dst in step.send_to:
+                    reqs.append(comm.isend(pieces[dst], dst, _TAG_SR))
+            # Overlap: reduce the previous bucket while this one flies.
+            if prev:
+                reduced = combine_sum([reduced, *prev])
+                comm.compute_words(2 * sum(v.nnz for v in prev))
+            got = comm.waitall(reqs)
+            prev = [g for g in got if isinstance(g, COOVector)]
+        if prev:
+            reduced = combine_sum([reduced, *prev])
+            comm.compute_words(2 * sum(v.nnz for v in prev))
+        return reduced
+
+    # ------------------------------------------------------------------
+    # Global threshold (Algorithm 1 lines 9-12)
+    # ------------------------------------------------------------------
+    def _global_threshold(self, comm: SimComm, reduced: COOVector,
+                          k: int, t: int) -> float:
+        if self._global_th is not None and not self._due(t, self.tau_prime):
+            return self._global_th
+        with comm.phase(PHASE_COMM):
+            all_reduced = coll.allgatherv_coo(comm, reduced)
+        merged_values = np.concatenate(
+            [v.values for v in all_reduced]) if all_reduced else np.empty(0)
+        with comm.phase(PHASE_SPARSIFY):
+            if merged_values.size:
+                self._global_th = kth_largest_abs(
+                    merged_values, min(k, merged_values.size))
+            else:
+                self._global_th = 0.0
+            comm.compute_sort(merged_values.size)
+        self.global_evaluations += 1
+        return self._global_th
+
+    # ------------------------------------------------------------------
+    # Phase 2: balance and allgatherv (Section 3.1.2)
+    # ------------------------------------------------------------------
+    def _balance_and_allgatherv(self, comm: SimComm, reduced: COOVector,
+                                global_th: float) -> tuple[COOVector, bool]:
+        p = comm.size
+        n = reduced.n
+        # (1) global top-k selection inside my region + (2) packaging
+        mine = (reduced.select_threshold(global_th) if global_th > 0
+                else reduced)
+        comm.compute_scan(reduced.nnz)
+        if p == 1:
+            return mine, False
+        # (3) size exchange and optional data balancing
+        sizes = coll.allgather_object(comm, mine.nnz)
+        total = int(sum(sizes))
+        balanced = False
+        idx, val = mine.indices, mine.values
+        if (self.data_balancing and total > 0
+                and max(sizes) > self.balance_trigger * total / p):
+            idx, val = self._rebalance(comm, idx, val, sizes)
+            balanced = True
+            self.balancing_triggered += 1
+        # (4) allgatherv via dissemination; region order keeps global sort
+        pieces = coll.allgatherv(comm, (idx, val))
+        cat_idx = np.concatenate([pc[0] for pc in pieces])
+        cat_val = np.concatenate([pc[1] for pc in pieces])
+        out = COOVector(n, cat_idx.astype(INDEX_DTYPE),
+                        cat_val.astype(VALUE_DTYPE))
+        return out, balanced
+
+    def _rebalance(self, comm: SimComm, idx: np.ndarray, val: np.ndarray,
+                   sizes: List[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Even out package sizes with point-to-point moves.
+
+        Every rank knows all package sizes, hence the global position range
+        it holds and the near-equal target ranges; overlaps define the
+        moves.  Source-rank order preserves the global (sorted) order.
+        """
+        p, r = comm.size, comm.rank
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        targets = np.linspace(0, offsets[-1], p + 1).astype(np.int64)
+        my_lo, my_hi = int(offsets[r]), int(offsets[r + 1])
+        blocks = []
+        for j in range(p):
+            a = max(my_lo, int(targets[j]))
+            b = min(my_hi, int(targets[j + 1]))
+            if b > a:
+                blocks.append((idx[a - my_lo:b - my_lo],
+                               val[a - my_lo:b - my_lo]))
+            else:
+                blocks.append(None)
+        got = coll.alltoallv(comm, blocks)
+        kept = [g for g in got if g is not None]
+        if not kept:
+            return (np.empty(0, INDEX_DTYPE), np.empty(0, VALUE_DTYPE))
+        return (np.concatenate([g[0] for g in kept]),
+                np.concatenate([g[1] for g in kept]))
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 driver
+    # ------------------------------------------------------------------
+    def _reduce(self, comm: SimComm, acc: np.ndarray,
+                t: int) -> AllreduceResult:
+        n = acc.size
+        k = self.resolve_k(n)
+        self._reset_state_if_needed(n)
+
+        with comm.phase(PHASE_SPARSIFY):                 # lines 2-4
+            local = self._select_local(comm, acc, k, t)
+        with comm.phase(PHASE_COMM):                      # lines 5-7
+            boundaries = self._repartition(comm, local, n, t)
+            reduced = self._split_and_reduce(comm, local, boundaries)  # l.8
+        global_th = self._global_threshold(comm, reduced, k, t)  # lines 9-12
+        with comm.phase(PHASE_COMM):                      # line 13
+            u_t, balanced = self._balance_and_allgatherv(
+                comm, reduced, global_th)
+        indexes = np.intersect1d(local.indices, u_t.indices,     # line 14
+                                 assume_unique=True)
+
+        return AllreduceResult(
+            update=u_t,
+            contributed_indices=indexes,
+            info={
+                "k": k,
+                "selected_local": local.nnz,
+                "selected_global": u_t.nnz,
+                "local_threshold": self._local_th,
+                "global_threshold": global_th,
+                "balancing_triggered": balanced,
+                "boundaries": boundaries,
+            },
+        )

@@ -1,0 +1,51 @@
+"""Name-based construction of allreduce schemes, used by the trainer,
+benchmarks and examples ("dense", "dense_ovlp", "topka", "topkdsa",
+"gtopk", "gaussiank", "oktopk")."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..errors import ConfigError
+from .base import GradientAllreduce
+from .dense import DenseAllreduce, DenseOvlpAllreduce
+from .gaussiank import GaussiankAllreduce
+from .gtopk import GTopkAllreduce
+from .oktopk import OkTopkAllreduce
+from .topk_a import TopkAAllreduce
+from .topk_dsa import TopkDSAAllreduce
+
+ALGORITHMS: Dict[str, Type[GradientAllreduce]] = {
+    cls.name: cls
+    for cls in (DenseAllreduce, DenseOvlpAllreduce, TopkAAllreduce,
+                TopkDSAAllreduce, GTopkAllreduce, GaussiankAllreduce,
+                OkTopkAllreduce)
+}
+
+#: order used in the paper's figures
+PAPER_ORDER = ["dense", "dense_ovlp", "topka", "topkdsa", "gtopk",
+               "gaussiank", "oktopk"]
+
+
+def register(cls: Type[GradientAllreduce]) -> Type[GradientAllreduce]:
+    """Add a scheme (e.g. an extension) to the registry by its ``name``."""
+    ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def _load_extensions() -> None:
+    """Import extension packages that register additional schemes."""
+    from .. import quant  # noqa: F401  (registers topka_q / oktopk_q)
+
+
+def make_allreduce(name: str, **kwargs) -> GradientAllreduce:
+    """Instantiate a scheme by its registry name."""
+    if name not in ALGORITHMS:
+        _load_extensions()
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown allreduce {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(**kwargs)

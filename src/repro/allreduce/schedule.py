@@ -1,0 +1,56 @@
+"""Communication schedules for split-and-reduce (Figure 2 of the paper).
+
+Two patterns:
+
+* *naive*: at step ``s`` every worker sends its region-``s`` piece to worker
+  ``s`` — worker ``s``'s ingress link serializes ``P-1`` messages at once
+  (endpoint congestion, Figure 2a);
+* *rotated*: worker ``i`` sends to ``(i+s) mod P`` at step ``s`` — each step
+  forms a permutation, so every ingress link sees exactly one message per
+  step (Figure 2b).
+
+Steps are grouped into *buckets* (Figure 2c): the messages of a bucket are
+posted with non-blocking sends and their local reduction is overlapped with
+the next bucket's transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Step:
+    """One exchange step for a fixed rank."""
+
+    send_to: Tuple[int, ...]
+    recv_from: Tuple[int, ...]
+
+
+def rotated_steps(rank: int, p: int) -> List[Step]:
+    """Destination-rotation schedule: P-1 permutation steps."""
+    return [Step(send_to=((rank + s) % p,), recv_from=((rank - s) % p,))
+            for s in range(1, p)]
+
+
+def naive_steps(rank: int, p: int) -> List[Step]:
+    """Hot-spot schedule: step ``s`` converges on worker ``s``."""
+    steps = []
+    for s in range(p):
+        send = (s,) if s != rank else ()
+        recv = tuple(r for r in range(p) if r != rank) if s == rank else ()
+        steps.append(Step(send_to=send, recv_from=recv))
+    return steps
+
+
+def make_steps(rank: int, p: int, rotation: bool) -> List[Step]:
+    return rotated_steps(rank, p) if rotation else naive_steps(rank, p)
+
+
+def buckets(steps: Sequence[Step], bucket_size: int) -> Iterator[List[Step]]:
+    """Group steps into buckets of at most ``bucket_size``."""
+    if bucket_size < 1:
+        raise ValueError("bucket_size must be >= 1")
+    for i in range(0, len(steps), bucket_size):
+        yield list(steps[i:i + bucket_size])

@@ -1,0 +1,29 @@
+"""Experiment drivers shared by the benchmarks/ directory."""
+
+from .harness import (
+    PAPER_DENSITIES,
+    PAPER_LOCAL_BATCH,
+    PAPER_MODEL_SIZES,
+    PROXIES,
+    ProxySpec,
+    bert_proxy,
+    format_table,
+    lstm_proxy,
+    paper_scale_breakdown,
+    train_scheme,
+    vgg_proxy,
+)
+
+__all__ = [
+    "ProxySpec",
+    "vgg_proxy",
+    "lstm_proxy",
+    "bert_proxy",
+    "PROXIES",
+    "train_scheme",
+    "paper_scale_breakdown",
+    "PAPER_MODEL_SIZES",
+    "PAPER_DENSITIES",
+    "PAPER_LOCAL_BATCH",
+    "format_table",
+]

@@ -1,0 +1,200 @@
+"""Shared experiment drivers for the paper-figure benchmarks.
+
+Two tiers, as laid out in DESIGN.md:
+
+* **executed proxies** — the real algorithms, real numpy models and the
+  simulated network at reduced scale (P <= 32, width-reduced models).
+  These produce measured volumes, simulated times and convergence curves.
+* **paper-scale projections** — the calibrated analytic model evaluated at
+  the paper's n/P (e.g. BERT n=133.5M on P=256), cross-checked against the
+  executed tier by the calibration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..comm import NetworkModel, run_spmd
+from ..costmodel import PAPER_COMPUTE_SECONDS, iteration_seconds
+from ..data import ShardedLoader, make_an4_like, make_cifar_like, \
+    make_wikipedia_like
+from ..nn.models import BertConfig, make_bert_model, \
+    make_lstm_speech_model, make_vgg16_model
+from ..train import RunRecord, Trainer, TrainerConfig, collapse_repeats, \
+    top1_accuracy, word_error_rate
+
+
+# ---------------------------------------------------------------------------
+# Proxy task definitions (the three paper workloads, numpy-sized)
+# ---------------------------------------------------------------------------
+@dataclass
+class ProxySpec:
+    """A reduced-scale stand-in for one of the paper's workloads."""
+
+    name: str
+    make_model: Callable[[], Any]
+    make_splits: Callable[[], tuple]
+    global_batch: int
+    lr: float
+    mode: str = "sgd"
+    eval_builder: Optional[Callable[[Any], Callable]] = None
+
+
+def vgg_proxy(width_mult: float = 0.05, n_train: int = 128,
+              noise: float = 0.6) -> ProxySpec:
+    def make_splits():
+        return make_cifar_like(n_train, 32, image_size=32, noise=noise,
+                               seed=0)
+
+    def eval_builder(test):
+        def evaluate(model):
+            return {"acc": top1_accuracy(model.predict(test.x), test.y),
+                    "loss": model.eval_loss(test.x, test.y)}
+        return evaluate
+
+    return ProxySpec(
+        name="vgg16",
+        make_model=lambda: make_vgg16_model(width_mult=width_mult, seed=42),
+        make_splits=make_splits,
+        global_batch=16, lr=0.05, mode="sgd", eval_builder=eval_builder)
+
+
+def lstm_proxy(hidden: int = 32, n_train: int = 96) -> ProxySpec:
+    def make_splits():
+        return make_an4_like(n_train, 24, features=12, seq_len=12,
+                             n_phones=8, seed=2)
+
+    def eval_builder(test):
+        def evaluate(model):
+            logits = model.predict(test.x)
+            hyp = np.argmax(logits, axis=-1)
+            hyps = [collapse_repeats(h) for h in hyp]
+            refs = [collapse_repeats(r) for r in test.y]
+            return {"wer": word_error_rate(hyps, refs),
+                    "loss": model.eval_loss(test.x, test.y)}
+        return evaluate
+
+    return ProxySpec(
+        name="lstm",
+        make_model=lambda: make_lstm_speech_model(
+            features=12, hidden=hidden, layers=1, classes=8, seq_len=12,
+            seed=3),
+        make_splits=make_splits,
+        global_batch=16, lr=0.3, mode="sgd", eval_builder=eval_builder)
+
+
+def bert_proxy(hidden: int = 32, layers: int = 2,
+               n_train: int = 128) -> ProxySpec:
+    cfg = BertConfig(vocab=200, hidden=hidden, layers=layers, heads=4,
+                     intermediate=2 * hidden, max_seq=16)
+
+    def make_splits():
+        return make_wikipedia_like(n_train, 32, vocab=200, seq_len=16,
+                                   seed=4)
+
+    def eval_builder(test):
+        def evaluate(model):
+            return {"loss": model.eval_loss(test.x, test.y)}
+        return evaluate
+
+    return ProxySpec(
+        name="bert",
+        make_model=lambda: make_bert_model(cfg, seq_len=16, seed=5),
+        make_splits=make_splits,
+        global_batch=16, lr=2e-3, mode="adam", eval_builder=eval_builder)
+
+
+PROXIES = {"vgg16": vgg_proxy, "lstm": lstm_proxy, "bert": bert_proxy}
+
+
+# ---------------------------------------------------------------------------
+# Executed training runs
+# ---------------------------------------------------------------------------
+def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
+                 density: Optional[float] = 0.02,
+                 scheme_kwargs: Optional[Dict[str, Any]] = None,
+                 eval_every: int = 0, xi_every: int = 0,
+                 network: Optional[NetworkModel] = None,
+                 seed: int = 0) -> RunRecord:
+    """Run one scheme on P simulated ranks; returns rank 0's RunRecord."""
+
+    def worker(comm):
+        train, test = proxy.make_splits()
+        model = proxy.make_model()
+        loader = ShardedLoader(train, proxy.global_batch, comm.rank,
+                               comm.size, seed=seed)
+        eval_fn = (proxy.eval_builder(test)
+                   if proxy.eval_builder is not None else None)
+        cfg = TrainerConfig(
+            iterations=iterations, scheme=scheme,
+            scheme_kwargs=scheme_kwargs or {},
+            density=density, lr=proxy.lr, mode=proxy.mode,
+            eval_every=eval_every, xi_every=xi_every)
+        return Trainer(comm, model, loader, cfg, eval_fn=eval_fn).run()
+
+    return run_spmd(p, worker, model=network)[0]
+
+
+# ---------------------------------------------------------------------------
+# Paper-scale projections (Figures 8 / 10 / 12)
+# ---------------------------------------------------------------------------
+PAPER_MODEL_SIZES = {"vgg16": 14_728_266, "lstm": 27_569_568,
+                     "bert": 133_547_324}
+PAPER_DENSITIES = {"vgg16": 0.02, "lstm": 0.02, "bert": 0.01}
+PAPER_LOCAL_BATCH = {"vgg16": 16, "lstm": 2, "bert": 8}
+
+
+def paper_scale_breakdown(model_kind: str, scheme: str, p: int, *,
+                          network: Optional[NetworkModel] = None,
+                          tau_prime: int = 32) -> Dict[str, float]:
+    """Analytic per-iteration breakdown at the paper's model size, using
+    the effective (software-stack-calibrated) network constants."""
+    model = network or NetworkModel.piz_daint_effective()
+    n = PAPER_MODEL_SIZES[model_kind]
+    k = max(1, int(PAPER_DENSITIES[model_kind] * n))
+    compute = (PAPER_COMPUTE_SECONDS[model_kind]
+               * PAPER_LOCAL_BATCH[model_kind])
+    return iteration_seconds(scheme, n, p, k, model,
+                             compute_seconds=compute, tau_prime=tau_prime)
+
+
+#: bandwidth-scaled network for the executed convergence runs: the proxy
+#: models are ~400x smaller than the paper's, so beta (and the per-flop
+#: time) are scaled up to keep the communication/computation balance of
+#: the paper's figures (dense comm ~ compute at small P).
+def proxy_network() -> NetworkModel:
+    return NetworkModel(alpha=2.0e-6, beta=2.0e-7, flop_time=1.0e-10)
+
+
+# ---------------------------------------------------------------------------
+# Text table formatting (the "same rows the paper reports")
+# ---------------------------------------------------------------------------
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    cols = [[str(h)] + [_fmt(r[i]) for r in rows]
+            for i, h in enumerate(headers)]
+    widths = [max(len(v) for v in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("  ".join(_fmt(v).ljust(w)
+                               for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4f}".rstrip("0").rstrip(".")
+    return str(v)

@@ -1,0 +1,161 @@
+"""Command-line interface: run the paper's experiments without writing code.
+
+Installed as ``repro-bench``::
+
+    repro-bench volume   --scheme oktopk --n 8192 --p 8 --density 0.01
+    repro-bench table1   --n 4096 --p 8 --k 64
+    repro-bench table2
+    repro-bench scaling  --model bert --p 32 64 256
+    repro-bench train    --workload vgg16 --scheme oktopk --workers 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_volume(args: argparse.Namespace) -> int:
+    from .costmodel import comm_cost, measure_steady_state_volume
+
+    k = args.k or max(1, int(args.density * args.n))
+    kwargs = {"tau_prime": 64} if args.scheme == "oktopk" else {}
+    measured = measure_steady_state_volume(args.scheme, args.n, args.p, k,
+                                           **kwargs)
+    predicted = comm_cost(args.scheme, args.n, args.p, k).bandwidth_words
+    print(f"scheme={args.scheme} n={args.n} P={args.p} k={k}")
+    print(f"  analytic bandwidth words : {predicted:.0f}")
+    print(f"  measured words per rank  : {measured:.0f}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .allreduce import PAPER_ORDER
+    from .bench import format_table
+    from .costmodel import validate_against_measurement
+
+    rows = []
+    for scheme in PAPER_ORDER:
+        cal = validate_against_measurement(scheme, n=args.n, p=args.p,
+                                           k=args.k)
+        rows.append([scheme, f"{cal.predicted_words:.0f}",
+                     f"{cal.measured_words:.0f}", f"{cal.ratio:.2f}"])
+    print(format_table(
+        ["algorithm", "model words", "measured words", "ratio"], rows,
+        title=f"Table 1 at n={args.n}, P={args.p}, k={args.k}"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .bench import format_table
+    from .nn.models import (AN4_FULL_HIDDEN, PAPER_BERT_PARAMS,
+                            PAPER_LSTM_PARAMS, PAPER_VGG16_PARAMS,
+                            bert_base_param_count, lstm_speech_param_count,
+                            vgg16_param_count)
+
+    rows = [
+        ["VGG-16", f"{vgg16_param_count(1.0):,}",
+         f"{PAPER_VGG16_PARAMS:,}"],
+        ["LSTM", f"{lstm_speech_param_count(hidden=AN4_FULL_HIDDEN):,}",
+         f"{PAPER_LSTM_PARAMS:,}"],
+        ["BERT", f"{bert_base_param_count():,}", f"{PAPER_BERT_PARAMS:,}"],
+    ]
+    print(format_table(["model", "ours", "paper"], rows,
+                       title="Table 2: parameter counts"))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .allreduce import PAPER_ORDER
+    from .bench import format_table, paper_scale_breakdown
+
+    for p in args.p:
+        rows = []
+        for scheme in PAPER_ORDER:
+            b = paper_scale_breakdown(args.model, scheme, p,
+                                      tau_prime=args.tau_prime)
+            rows.append([scheme, f"{b['sparsification']:.3f}",
+                         f"{b['communication']:.3f}",
+                         f"{b['computation+io']:.3f}", f"{b['total']:.3f}"])
+        print(format_table(
+            ["scheme", "sparsify (s)", "comm (s)", "compute+io (s)",
+             "total (s)"], rows,
+            title=f"{args.model} weak scaling, {p} GPUs"))
+        print()
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .bench import PROXIES, train_scheme
+    from .bench.harness import proxy_network
+
+    proxy = PROXIES[args.workload]()
+    rec = train_scheme(proxy, args.scheme, args.workers, args.iters,
+                       density=args.density,
+                       eval_every=max(1, args.iters // 3),
+                       network=proxy_network())
+    bd = rec.mean_breakdown(skip=1)
+    print(f"workload={args.workload} scheme={args.scheme} "
+          f"P={args.workers} iters={args.iters} density={args.density}")
+    print(f"  first loss : {rec.losses[0]:.4f}")
+    print(f"  final loss : {rec.losses[-1]:.4f}")
+    print(f"  sim time   : {rec.total_time:.4f} s")
+    print(f"  breakdown  : sparsify {bd['sparsification'] * 1e3:.3f} ms, "
+          f"comm {bd['communication'] * 1e3:.3f} ms, "
+          f"compute {bd['computation+io'] * 1e3:.3f} ms / iter")
+    final = rec.final_eval()
+    if final:
+        metrics = ", ".join(f"{k}={v:.4f}" for k, v in final.items())
+        print(f"  eval       : {metrics}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Ok-Topk reproduction experiment driver")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    vol = sub.add_parser("volume", help="measured vs analytic volume")
+    vol.add_argument("--scheme", default="oktopk")
+    vol.add_argument("--n", type=int, default=8192)
+    vol.add_argument("--p", type=int, default=8)
+    vol.add_argument("--k", type=int, default=None)
+    vol.add_argument("--density", type=float, default=0.01)
+    vol.set_defaults(fn=_cmd_volume)
+
+    t1 = sub.add_parser("table1", help="regenerate Table 1")
+    t1.add_argument("--n", type=int, default=4096)
+    t1.add_argument("--p", type=int, default=8)
+    t1.add_argument("--k", type=int, default=64)
+    t1.set_defaults(fn=_cmd_table1)
+
+    t2 = sub.add_parser("table2", help="regenerate Table 2")
+    t2.set_defaults(fn=_cmd_table2)
+
+    sc = sub.add_parser("scaling", help="paper-scale weak scaling tables")
+    sc.add_argument("--model", choices=["vgg16", "lstm", "bert"],
+                    default="bert")
+    sc.add_argument("--p", type=int, nargs="+", default=[32, 256])
+    sc.add_argument("--tau-prime", type=int, default=128)
+    sc.set_defaults(fn=_cmd_scaling)
+
+    tr = sub.add_parser("train", help="train a proxy workload")
+    tr.add_argument("--workload", choices=["vgg16", "lstm", "bert"],
+                    default="vgg16")
+    tr.add_argument("--scheme", default="oktopk")
+    tr.add_argument("--workers", type=int, default=4)
+    tr.add_argument("--iters", type=int, default=12)
+    tr.add_argument("--density", type=float, default=0.02)
+    tr.set_defaults(fn=_cmd_train)
+    return ap
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Simulated SPMD communication substrate (the paper's MPI layer).
+
+Quick tour::
+
+    from repro.comm import run_spmd, collectives
+
+    def program(comm):
+        import numpy as np
+        x = np.full(4, comm.rank, dtype=np.float32)
+        return collectives.allreduce(comm, x)
+
+    res = run_spmd(8, program)
+    res[0]            # reduced vector on rank 0
+    res.makespan      # simulated completion time in seconds
+    res.stats         # per-rank traffic counters (words/messages)
+"""
+
+from . import collectives
+from .communicator import SimComm
+from .launcher import SpmdResult, run_spmd
+from .message import RecvRequest, Request, SendRequest
+from .model import NetworkModel
+from .network import Network, TrafficStats
+from .payload import nwords
+
+__all__ = [
+    "collectives",
+    "SimComm",
+    "SpmdResult",
+    "run_spmd",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "NetworkModel",
+    "Network",
+    "TrafficStats",
+    "nwords",
+]

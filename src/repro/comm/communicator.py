@@ -1,0 +1,199 @@
+"""Per-rank communicator: the mpi4py-flavoured API the algorithms program to.
+
+Each SPMD rank owns one :class:`SimComm`.  Simulated time is tracked per rank
+(``comm.clock``); point-to-point calls advance it according to the network
+model, and :meth:`compute` charges local computation.  Blocking semantics are
+*eager* (a send never blocks on the receiver), so algorithms written against
+this API cannot deadlock through send-send cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .message import Message, RecvRequest, Request, SendRequest
+from .network import Network
+from .payload import nwords as payload_nwords
+
+
+def _freeze(obj: Any) -> Any:
+    """Snapshot mutable payloads so a sender mutating its buffer after a
+    send cannot corrupt the receiver (simulates a buffered/eager send)."""
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(_freeze(v) for v in obj)
+    if isinstance(obj, list):
+        return [_freeze(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _freeze(v) for k, v in obj.items()}
+    return obj
+
+
+class SimComm:
+    """Communicator bound to one rank of a :class:`Network`."""
+
+    def __init__(self, network: Network, rank: int):
+        if not 0 <= rank < network.nranks:
+            raise ValueError(f"rank {rank} out of range for P={network.nranks}")
+        self.net = network
+        self.rank = rank
+        self.size = network.nranks
+        self._phase_times: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Simulated clock
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> float:
+        return float(self.net.clocks[self.rank])
+
+    def _advance_clock(self, t: float) -> None:
+        if t > self.net.clocks[self.rank]:
+            self.net.clocks[self.rank] = t
+
+    def compute(self, seconds: float) -> None:
+        """Charge ``seconds`` of local computation to this rank."""
+        if seconds < 0:
+            raise ValueError("compute time must be >= 0")
+        self.net.clocks[self.rank] += seconds
+
+    def compute_words(self, n: int) -> None:
+        """Charge a local reduction over ``n`` words (gamma model)."""
+        self.compute(self.net.model.gamma * max(0, n))
+
+    def compute_scan(self, n: int) -> None:
+        """Charge a linear scan/compaction over ``n`` words."""
+        self.compute(self.net.model.scan_time * max(0, n))
+
+    def compute_sort(self, n: int) -> None:
+        """Charge an accelerator sort of ``n`` words (n log n scaling)."""
+        n = max(0, n)
+        self.compute(self.net.model.sort_time * n * max(1.0, np.log2(max(n, 2))))
+
+    def compute_topk(self, n: int, k: int) -> None:
+        """Charge a GPU top-k selection over ``n`` words.
+
+        Modeled as ``sort_time * n * log2(k)`` — between the bitonic
+        ``n log^2 k`` worst case and radix-select's ``n`` (torch.topk, the
+        primitive the paper's baselines call, sits in this regime)."""
+        n, k = max(0, n), max(2, k)
+        self.compute(self.net.model.sort_time * n * np.log2(k))
+
+    def compute_flops(self, flops: float) -> None:
+        """Charge ``flops`` floating point operations of model compute."""
+        self.compute(self.net.model.flop_time * max(0.0, flops))
+
+    # ------------------------------------------------------------------
+    # Phase accounting (used for the paper's runtime breakdowns)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Attribute simulated time elapsed in this block to ``name``."""
+        start = self.clock
+        try:
+            yield
+        finally:
+            self._phase_times[name] = (
+                self._phase_times.get(name, 0.0) + self.clock - start)
+
+    def phase_times(self, reset: bool = False) -> dict[str, float]:
+        out = dict(self._phase_times)
+        if reset:
+            self._phase_times.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0, *,
+             nwords: Optional[int] = None) -> None:
+        """Blocking (eager) send; sender clock advances past egress
+        serialization of the message."""
+        size = payload_nwords(obj) if nwords is None else int(nwords)
+        _, done = self.net.post(self.rank, dest, tag, _freeze(obj), size,
+                                self.clock)
+        self._advance_clock(done)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0, *,
+              nwords: Optional[int] = None) -> SendRequest:
+        """Non-blocking send; the egress slot is booked now (DMA-like) and
+        ``wait()`` advances the clock to when the buffer is reusable."""
+        size = payload_nwords(obj) if nwords is None else int(nwords)
+        _, done = self.net.post(self.rank, dest, tag, _freeze(obj), size,
+                                self.clock)
+        self.compute(self.net.model.o_inject)
+        return SendRequest(self, done)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``(source, tag)``."""
+        msg = self._match_blocking(source, tag)
+        self._deliver(msg)
+        return msg.payload
+
+    def irecv(self, source: int, tag: int = 0) -> RecvRequest:
+        return RecvRequest(self, source, tag)
+
+    def sendrecv(self, obj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: Optional[int] = None, *,
+                 nwords: Optional[int] = None) -> Any:
+        """Simultaneous exchange; the common building block of the dense
+        collectives (recursive doubling/halving, ring steps)."""
+        if recvtag is None:
+            recvtag = sendtag
+        req = self.isend(obj, dest, sendtag, nwords=nwords)
+        out = self.recv(source, recvtag)
+        req.wait()
+        return out
+
+    def waitall(self, requests: Sequence[Request]) -> List[Any]:
+        """Complete a set of requests.
+
+        Receives are matched first and their ingress slots are booked in
+        order of simulated arrival (earliest first) so that the contention
+        model is independent of the order the caller listed the requests.
+        """
+        recvs = [r for r in requests if isinstance(r, RecvRequest)
+                 and not r.completed]
+        msgs: List[tuple[Message, RecvRequest]] = []
+        for r in recvs:
+            msgs.append((self._match_blocking(r.source, r.tag), r))
+        msgs.sort(key=lambda mr: (mr[0].t_first, mr[0].src, mr[0].seq))
+        for msg, req in msgs:
+            self._deliver(msg)
+            req._message = msg
+            req.completed = True
+        results: List[Any] = []
+        for r in requests:
+            if isinstance(r, RecvRequest):
+                results.append(r.wait())
+            else:
+                r.wait()
+                results.append(None)
+        return results
+
+    # internal hooks used by RecvRequest --------------------------------
+    def _try_match(self, source: int, tag: int) -> Optional[Message]:
+        return self.net.try_match(self.rank, source, tag)
+
+    def _match_blocking(self, source: int, tag: int) -> Message:
+        return self.net.match_blocking(self.rank, source, tag)
+
+    def _deliver(self, msg: Message) -> None:
+        t_done = self.net.deliver(msg)
+        self._advance_clock(t_done)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def ranks(self) -> Iterable[int]:
+        return range(self.size)
+
+    def peers(self) -> Iterable[int]:
+        return (r for r in range(self.size) if r != self.rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimComm(rank={self.rank}, size={self.size}, clock={self.clock:.3e})"

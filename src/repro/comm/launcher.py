@@ -1,0 +1,107 @@
+"""SPMD launcher: run one Python callable per simulated rank.
+
+Each rank runs in its own OS thread against a shared :class:`Network`.
+Simulated time is schedule-independent (links are booked in program order of
+the owning rank), so results and timings are deterministic even though the
+GIL interleaves threads arbitrarily.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..errors import CommError, RankFailedError
+from .communicator import SimComm
+from .model import NetworkModel
+from .network import Network, TrafficStats
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of an SPMD section."""
+
+    results: List[Any]
+    network: Network
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time (max over rank clocks), seconds."""
+        return self.network.makespan
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.network.stats()
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.results[rank]
+
+
+def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
+             network: Optional[Network] = None,
+             model: Optional[NetworkModel] = None,
+             trace: bool = False,
+             **kwargs: Any) -> SpmdResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
+
+    Args:
+        nranks: number of simulated ranks (P).
+        fn: the per-rank program; receives a :class:`SimComm` first.
+        network: reuse an existing network (keeps clocks/counters); by
+            default a fresh one is created.
+        model: cost model for a fresh network (ignored when ``network``
+            is given).
+        trace: record a message trace on the fresh network.
+
+    Returns:
+        :class:`SpmdResult` with per-rank return values and the network.
+
+    Raises:
+        RankFailedError: if any rank raised; other ranks are unblocked via
+            the network abort flag and their secondary errors suppressed.
+    """
+    net = network if network is not None else Network(nranks, model, trace=trace)
+    if net.nranks != nranks:
+        raise ValueError(
+            f"network has {net.nranks} ranks but nranks={nranks} requested")
+    results: List[Any] = [None] * nranks
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = SimComm(net, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except CommError as exc:
+            # Secondary failure caused by another rank's abort: record only
+            # if we are the first (i.e. the genuine origin).
+            with failures_lock:
+                if not net.aborted or not failures:
+                    failures[rank] = exc
+            net.abort(exc)
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            with failures_lock:
+                failures[rank] = exc
+            net.abort(exc)
+
+    if nranks == 1:
+        # Fast path: no threads needed, keeps tracebacks simple.
+        runner(0)
+    else:
+        threads = [threading.Thread(target=runner, args=(r,), daemon=True,
+                                    name=f"spmd-rank-{r}")
+                   for r in range(nranks)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if failures:
+        genuine = {r: e for r, e in failures.items()
+                   if not isinstance(e, CommError)} or failures
+        raise RankFailedError(genuine)
+    return SpmdResult(results, net)

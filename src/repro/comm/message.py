@@ -1,0 +1,115 @@
+"""Message and request objects for the simulated runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Message:
+    """An in-flight message.
+
+    Timing fields are in simulated seconds.  ``t_start_tx`` and ``t_first``
+    are fixed when the sender posts (egress link booked in sender program
+    order); ``t_done`` is fixed when the receiver matches (ingress link
+    booked in receiver program order), so both links serialize
+    deterministically regardless of thread scheduling.
+    """
+
+    src: int
+    dst: int
+    tag: int
+    seq: int
+    payload: Any
+    nwords: int
+    t_start_tx: float
+    t_first: float
+    t_done: Optional[float] = None
+
+    def matches(self, source: int, tag: int) -> bool:
+        return self.src == source and self.tag == tag
+
+
+@dataclass
+class TraceRecord:
+    """One completed transfer, for congestion/ schedule analysis."""
+
+    src: int
+    dst: int
+    tag: int
+    nwords: int
+    t_start_tx: float
+    t_first: float
+    t_done: float
+
+
+class Request:
+    """Base class for non-blocking operation handles."""
+
+    def test(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def wait(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class SendRequest(Request):
+    """Handle returned by ``isend``.
+
+    The transfer's egress slot is booked at post time (DMA-like); ``wait``
+    advances the sender clock to the point where the send buffer is
+    reusable, i.e. after egress serialization.
+    """
+
+    comm: Any
+    done_time: float
+    completed: bool = False
+
+    def test(self) -> bool:
+        return True  # eager protocol: buffer is always accepted
+
+    def wait(self) -> None:
+        if not self.completed:
+            self.comm._advance_clock(self.done_time)
+            self.completed = True
+
+
+@dataclass
+class RecvRequest(Request):
+    """Handle returned by ``irecv``; resolves when a matching message from
+    ``(source, tag)`` is consumed."""
+
+    comm: Any
+    source: int
+    tag: int
+    completed: bool = False
+    _message: Optional[Message] = field(default=None, repr=False)
+
+    def test(self) -> bool:
+        if self.completed:
+            return True
+        msg = self.comm._try_match(self.source, self.tag)
+        if msg is None:
+            return False
+        self._finish(msg)
+        return True
+
+    def wait(self) -> Any:
+        if not self.completed:
+            msg = self.comm._match_blocking(self.source, self.tag)
+            self._finish(msg)
+        return self._message.payload
+
+    # internal -----------------------------------------------------------
+    def _finish(self, msg: Message) -> None:
+        self.comm._deliver(msg)
+        self._message = msg
+        self.completed = True
+
+    @property
+    def message(self) -> Message:
+        if not self.completed:
+            raise RuntimeError("request not completed")
+        return self._message

@@ -1,0 +1,221 @@
+"""The shared discrete-event network state.
+
+One :class:`Network` is shared by all ranks of an SPMD run.  It owns:
+
+* per-destination mailboxes with (source, tag) matching and per-channel FIFO
+  ordering (deterministic regardless of thread scheduling),
+* per-rank egress/ingress link availability for the LogGP-style occupancy
+  model (see :mod:`repro.comm.model`),
+* per-rank traffic counters (words/messages sent and received) used by the
+  volume benchmarks and the Table 1 / Theorem 3.1 checks,
+* an optional message trace for congestion analysis,
+* an abort flag so one failing rank unblocks every other rank.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+import numpy as np
+
+from ..errors import CommError
+from .message import Message, TraceRecord
+from .model import NetworkModel
+
+
+@dataclass
+class TrafficStats:
+    """Immutable snapshot of per-rank traffic counters."""
+
+    words_sent: np.ndarray
+    words_recv: np.ndarray
+    msgs_sent: np.ndarray
+    msgs_recv: np.ndarray
+
+    @property
+    def total_words(self) -> int:
+        return int(self.words_sent.sum())
+
+    @property
+    def max_words_recv(self) -> int:
+        return int(self.words_recv.max())
+
+    def __sub__(self, other: "TrafficStats") -> "TrafficStats":
+        return TrafficStats(
+            self.words_sent - other.words_sent,
+            self.words_recv - other.words_recv,
+            self.msgs_sent - other.msgs_sent,
+            self.msgs_recv - other.msgs_recv,
+        )
+
+
+class Network:
+    """Shared state of the simulated machine for ``nranks`` ranks."""
+
+    #: polling interval for blocked receivers to notice an abort
+    _WAIT_TIMEOUT = 0.2
+
+    def __init__(self, nranks: int, model: Optional[NetworkModel] = None, *,
+                 trace: bool = False):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.model = model or NetworkModel()
+        self._lock = threading.Lock()
+        self._conds = [threading.Condition(self._lock) for _ in range(nranks)]
+        self._queues: List[List[Message]] = [[] for _ in range(nranks)]
+        self._seq = np.zeros((nranks, nranks), dtype=np.int64)
+        self.egress_free = np.zeros(nranks, dtype=np.float64)
+        self.ingress_free = np.zeros(nranks, dtype=np.float64)
+        self.clocks = np.zeros(nranks, dtype=np.float64)
+        self.words_sent = np.zeros(nranks, dtype=np.int64)
+        self.words_recv = np.zeros(nranks, dtype=np.int64)
+        self.msgs_sent = np.zeros(nranks, dtype=np.int64)
+        self.msgs_recv = np.zeros(nranks, dtype=np.int64)
+        self.trace_enabled = trace
+        self.trace: List[TraceRecord] = []
+        self._abort_exc: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Posting and matching
+    # ------------------------------------------------------------------
+    def post(self, src: int, dst: int, tag: int, payload: Any,
+             nwords_: int, sender_clock: float) -> tuple[Message, float]:
+        """Book the egress link, enqueue the message, and return it together
+        with the simulated time at which the sender's buffer is free."""
+        if not 0 <= dst < self.nranks:
+            raise CommError(f"invalid destination rank {dst}")
+        m = self.model
+        with self._lock:
+            self._check_abort()
+            t_start = max(sender_clock, float(self.egress_free[src]))
+            t_end_tx = t_start + m.beta * nwords_
+            self.egress_free[src] = t_end_tx
+            msg = Message(
+                src=src, dst=dst, tag=tag,
+                seq=int(self._seq[src, dst]),
+                payload=payload, nwords=nwords_,
+                t_start_tx=t_start, t_first=t_start + m.alpha,
+            )
+            self._seq[src, dst] += 1
+            self.words_sent[src] += nwords_
+            self.msgs_sent[src] += 1
+            self._queues[dst].append(msg)
+            self._conds[dst].notify_all()
+        return msg, t_end_tx + m.o_send
+
+    def try_match(self, dst: int, source: int, tag: int) -> Optional[Message]:
+        """Pop the earliest-sequence matching message, or return None."""
+        with self._lock:
+            self._check_abort()
+            return self._pop_match_locked(dst, source, tag)
+
+    def match_blocking(self, dst: int, source: int, tag: int) -> Message:
+        """Block (wall-clock) until a matching message arrives, then pop it."""
+        cond = self._conds[dst]
+        with cond:
+            while True:
+                self._check_abort()
+                msg = self._pop_match_locked(dst, source, tag)
+                if msg is not None:
+                    return msg
+                cond.wait(self._WAIT_TIMEOUT)
+
+    def _pop_match_locked(self, dst: int, source: int,
+                          tag: int) -> Optional[Message]:
+        queue = self._queues[dst]
+        for i, msg in enumerate(queue):
+            if msg.matches(source, tag):
+                return queue.pop(i)
+        return None
+
+    # ------------------------------------------------------------------
+    # Delivery: ingress booking, in receiver program order
+    # ------------------------------------------------------------------
+    def deliver(self, msg: Message) -> float:
+        """Book the ingress link for a matched message; returns its
+        completion time in simulated seconds."""
+        m = self.model
+        with self._lock:
+            t_done = max(msg.t_first, float(self.ingress_free[msg.dst]))
+            t_done += m.beta * msg.nwords
+            self.ingress_free[msg.dst] = t_done
+            msg.t_done = t_done
+            self.words_recv[msg.dst] += msg.nwords
+            self.msgs_recv[msg.dst] += 1
+            if self.trace_enabled:
+                self.trace.append(TraceRecord(
+                    msg.src, msg.dst, msg.tag, msg.nwords,
+                    msg.t_start_tx, msg.t_first, t_done))
+        return t_done
+
+    # ------------------------------------------------------------------
+    # Abort handling
+    # ------------------------------------------------------------------
+    def abort(self, exc: BaseException) -> None:
+        """Mark the run as failed; wakes all blocked receivers."""
+        with self._lock:
+            if self._abort_exc is None:
+                self._abort_exc = exc
+            for cond in self._conds:
+                cond.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._abort_exc is not None:
+            raise CommError(
+                f"SPMD run aborted by a peer rank: {self._abort_exc!r}")
+
+    @property
+    def aborted(self) -> bool:
+        return self._abort_exc is not None
+
+    # ------------------------------------------------------------------
+    # Diagnostic save/restore (used by xi measurement so that the extra
+    # gather traffic does not perturb timing or volume statistics)
+    # ------------------------------------------------------------------
+    def save_state(self) -> dict:
+        """Snapshot clocks, link occupancy and counters (NOT mailboxes or
+        sequence numbers).  Must be taken when no messages are in flight."""
+        with self._lock:
+            return {
+                "clocks": self.clocks.copy(),
+                "egress": self.egress_free.copy(),
+                "ingress": self.ingress_free.copy(),
+                "words_sent": self.words_sent.copy(),
+                "words_recv": self.words_recv.copy(),
+                "msgs_sent": self.msgs_sent.copy(),
+                "msgs_recv": self.msgs_recv.copy(),
+            }
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self.clocks[:] = state["clocks"]
+            self.egress_free[:] = state["egress"]
+            self.ingress_free[:] = state["ingress"]
+            self.words_sent[:] = state["words_sent"]
+            self.words_recv[:] = state["words_recv"]
+            self.msgs_sent[:] = state["msgs_sent"]
+            self.msgs_recv[:] = state["msgs_recv"]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> TrafficStats:
+        with self._lock:
+            return TrafficStats(self.words_sent.copy(), self.words_recv.copy(),
+                                self.msgs_sent.copy(), self.msgs_recv.copy())
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self.words_sent[:] = 0
+            self.words_recv[:] = 0
+            self.msgs_sent[:] = 0
+            self.msgs_recv[:] = 0
+            self.trace.clear()
+
+    @property
+    def makespan(self) -> float:
+        """Latest simulated clock across ranks."""
+        return float(self.clocks.max())

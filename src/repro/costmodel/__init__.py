@@ -1,0 +1,41 @@
+"""Analytic Table 1 cost model and paper-scale projections."""
+
+from .calibrate import (
+    PAPER_COMPUTE_SECONDS,
+    CalibrationResult,
+    measure_steady_state_volume,
+    validate_against_measurement,
+)
+from .model import (
+    COST_FUNCTIONS,
+    CommCost,
+    comm_cost,
+    dense_cost,
+    expected_union,
+    gaussiank_cost,
+    gtopk_cost,
+    iteration_seconds,
+    oktopk_cost,
+    sparsify_cost_seconds,
+    topka_cost,
+    topkdsa_cost,
+)
+
+__all__ = [
+    "CommCost",
+    "comm_cost",
+    "COST_FUNCTIONS",
+    "dense_cost",
+    "topka_cost",
+    "topkdsa_cost",
+    "gtopk_cost",
+    "gaussiank_cost",
+    "oktopk_cost",
+    "expected_union",
+    "sparsify_cost_seconds",
+    "iteration_seconds",
+    "CalibrationResult",
+    "measure_steady_state_volume",
+    "validate_against_measurement",
+    "PAPER_COMPUTE_SECONDS",
+]

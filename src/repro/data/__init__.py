@@ -1,0 +1,18 @@
+"""Seeded synthetic datasets standing in for CIFAR-10 / AN4 / Wikipedia."""
+
+from .an4_like import make_an4_like
+from .cifar_like import make_cifar_like
+from .loader import ShardedLoader
+from .synthetic import Split, class_templates
+from .wikipedia_like import IGNORE, MASK_TOKEN, make_wikipedia_like
+
+__all__ = [
+    "Split",
+    "class_templates",
+    "make_cifar_like",
+    "make_an4_like",
+    "make_wikipedia_like",
+    "MASK_TOKEN",
+    "IGNORE",
+    "ShardedLoader",
+]

@@ -1,0 +1,63 @@
+"""Sharded mini-batch loading for data-parallel training.
+
+Every worker holds the full (synthetic) dataset and draws its disjoint
+shard of each global mini-batch: with global batch size ``B`` and ``P``
+workers, worker ``i`` takes rows ``[i*B/P, (i+1)*B/P)`` of the shared
+shuffled order.  All workers shuffle with the same seed so the epoch
+permutation is coordinated (what a distributed sampler does in PyTorch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .synthetic import Split
+
+
+class ShardedLoader:
+    """Deterministic per-rank batch source (satisfies
+    :class:`repro.train.BatchSource`)."""
+
+    def __init__(self, split: Split, global_batch: int, rank: int,
+                 size: int, *, seed: int = 0):
+        if global_batch < size:
+            raise ConfigError(
+                f"global batch {global_batch} < number of workers {size}")
+        if global_batch > len(split):
+            raise ConfigError(
+                f"global batch {global_batch} > dataset size {len(split)}")
+        self.split = split
+        self.global_batch = global_batch
+        self.rank = rank
+        self.size = size
+        self.seed = seed
+        self.batches_per_epoch = len(split) // global_batch
+        self._epoch = -1
+        self._order: np.ndarray | None = None
+
+    @property
+    def local_batch(self) -> int:
+        lo, hi = self._shard_bounds()
+        return hi - lo
+
+    def _shard_bounds(self) -> tuple[int, int]:
+        bounds = np.linspace(0, self.global_batch, self.size + 1).astype(int)
+        return int(bounds[self.rank]), int(bounds[self.rank + 1])
+
+    def _ensure_epoch(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            rng = np.random.default_rng(self.seed + epoch)
+            self._order = rng.permutation(len(self.split))
+            self._epoch = epoch
+
+    def next_batch(self, t: int) -> tuple[np.ndarray, np.ndarray]:
+        """The rank's shard of global batch ``t`` (1-based iteration)."""
+        step = t - 1
+        epoch = step // self.batches_per_epoch
+        pos = step % self.batches_per_epoch
+        self._ensure_epoch(epoch)
+        base = pos * self.global_batch
+        lo, hi = self._shard_bounds()
+        idx = self._order[base + lo:base + hi]
+        return self.split.x[idx], self.split.y[idx]

@@ -1,0 +1,37 @@
+"""Shared helpers for the seeded synthetic datasets.
+
+The paper trains on CIFAR-10, AN4 and Wikipedia; with no network access we
+substitute seeded synthetic datasets with the same tensor shapes and the
+statistical structure each task needs to be *learnable* (so convergence
+comparisons between allreduce schemes are meaningful).  Substitutions are
+documented in DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """A (features, labels) pair."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+def class_templates(rng: np.random.Generator, n_classes: int,
+                    shape: tuple, smooth: int = 0) -> np.ndarray:
+    """Per-class mean patterns; optional box smoothing along the last two
+    axes makes image-like templates."""
+    t = rng.normal(size=(n_classes,) + shape).astype(np.float32)
+    if smooth:
+        for _ in range(smooth):
+            t = (t + np.roll(t, 1, axis=-1) + np.roll(t, -1, axis=-1)
+                 + np.roll(t, 1, axis=-2) + np.roll(t, -1, axis=-2)) / 5.0
+    return t

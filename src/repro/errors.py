@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so downstream users can catch library failures separately from programming
+errors (``ValueError``/``TypeError`` are still used for plain argument
+validation at API boundaries).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class CommError(ReproError):
+    """Errors raised by the simulated communication runtime."""
+
+
+class RankFailedError(CommError):
+    """One or more SPMD ranks raised an exception.
+
+    Attributes:
+        failures: mapping ``rank -> exception`` for every failed rank.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first = next(iter(self.failures.values()))
+        super().__init__(
+            f"{len(self.failures)} rank(s) failed (ranks {ranks}); "
+            f"first error: {type(first).__name__}: {first}"
+        )
+
+
+class MatchError(CommError):
+    """A receive could not be matched (e.g. negative source, bad tag)."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse vector violated its format invariants."""
+
+
+class PartitionError(ReproError):
+    """Invalid region boundaries for gradient-space partitioning."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or algorithm configuration."""

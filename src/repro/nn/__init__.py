@@ -1,0 +1,33 @@
+"""Pure-numpy neural networks with manual backprop."""
+
+from . import models
+from .activation import GELU, ReLU, Sigmoid, Tanh
+from .attention import MultiHeadSelfAttention, TransformerEncoderLayer
+from .conv import Conv2d
+from .dropout import Dropout
+from .embedding import Embedding
+from .linear import Linear
+from .losses import IGNORE_INDEX, SoftmaxCrossEntropy
+from .module import (
+    DTYPE,
+    FlatModel,
+    Flatten,
+    Loss,
+    Module,
+    Parameter,
+    Sequential,
+)
+from .norm import BatchNorm2d, LayerNorm
+from .pool import MaxPool2d
+from .rnn import LSTM, LSTMCellSequence
+
+__all__ = [
+    "models",
+    "Module", "Parameter", "Sequential", "Flatten", "FlatModel", "Loss",
+    "DTYPE",
+    "Linear", "Conv2d", "MaxPool2d", "BatchNorm2d", "LayerNorm",
+    "ReLU", "GELU", "Tanh", "Sigmoid", "Dropout", "Embedding",
+    "LSTM", "LSTMCellSequence",
+    "MultiHeadSelfAttention", "TransformerEncoderLayer",
+    "SoftmaxCrossEntropy", "IGNORE_INDEX",
+]

@@ -1,0 +1,76 @@
+"""2-D convolution via im2col (vectorized, no Python loops over pixels)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module, kaiming_normal
+
+
+def _out_size(h: int, k: int, stride: int, pad: int) -> int:
+    return (h + 2 * pad - k) // stride + 1
+
+
+def im2col_indices(c: int, kh: int, kw: int, oh: int, ow: int,
+                   stride: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather indices mapping padded input to (C*KH*KW, OH*OW) columns."""
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, c)
+    i1 = stride * np.repeat(np.arange(oh), ow)
+    j0 = np.tile(np.arange(kw), kh * c)
+    j1 = stride * np.tile(np.arange(ow), oh)
+    i = i0[:, None] + i1[None, :]
+    j = j0[:, None] + j1[None, :]
+    ch = np.repeat(np.arange(c), kh * kw)[:, None]
+    return ch, i, j
+
+
+class Conv2d(Module):
+    """NCHW convolution with square-ish kernels, stride and zero padding."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 *, stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.cin, self.cout = in_channels, out_channels
+        self.k, self.stride, self.pad = kernel_size, stride, padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.W = self.add_param(
+            kaiming_normal(rng, (out_channels, in_channels,
+                                 kernel_size, kernel_size), fan_in), "W")
+        self.b = self.add_param(np.zeros(out_channels), "b") if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        B, C, H, W = x.shape
+        k, s, p = self.k, self.stride, self.pad
+        oh, ow = _out_size(H, k, s, p), _out_size(W, k, s, p)
+        xp = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p))) if p else x
+        ch, i, j = im2col_indices(C, k, k, oh, ow, s)
+        cols = xp[:, ch, i, j]                      # (B, C*k*k, oh*ow)
+        Wm = self.W.data.reshape(self.cout, -1)     # (F, C*k*k)
+        out = np.einsum("fc,bcp->bfp", Wm, cols, optimize=True)
+        if self.b is not None:
+            out += self.b.data[None, :, None]
+        self._cache = (x.shape, xp.shape, cols, (ch, i, j), (oh, ow))
+        return out.reshape(B, self.cout, oh, ow)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_shape, xp_shape, cols, (ch, i, j), (oh, ow) = self._cache
+        B = dy.shape[0]
+        k, p = self.k, self.pad
+        dyf = dy.reshape(B, self.cout, oh * ow)
+        Wm = self.W.data.reshape(self.cout, -1)
+        self.W.grad += np.einsum("bfp,bcp->fc", dyf, cols,
+                                 optimize=True).reshape(self.W.data.shape)
+        if self.b is not None:
+            self.b.grad += dyf.sum(axis=(0, 2))
+        dcols = np.einsum("fc,bfp->bcp", Wm, dyf, optimize=True)
+        dxp = np.zeros((B,) + xp_shape[1:], dtype=dy.dtype)
+        np.add.at(dxp, (slice(None), ch, i, j), dcols)
+        if p:
+            return dxp[:, :, p:-p, p:-p]
+        return dxp

@@ -1,0 +1,41 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .module import Module, kaiming_normal
+
+
+class Linear(Module):
+    """``y = x @ W^T + b`` over the last axis (supports (B, D) and
+    (B, T, D) inputs)."""
+
+    def __init__(self, in_features: int, out_features: int, *,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.W = self.add_param(
+            kaiming_normal(rng, (out_features, in_features), in_features), "W")
+        self.b = self.add_param(np.zeros(out_features), "b") if bias else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._x = x
+        y = x @ self.W.data.T
+        if self.b is not None:
+            y += self.b.data
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x = self._x
+        x2 = x.reshape(-1, self.in_features)
+        dy2 = dy.reshape(-1, self.out_features)
+        self.W.grad += dy2.T @ x2
+        if self.b is not None:
+            self.b.grad += dy2.sum(axis=0)
+        return (dy2 @ self.W.data).reshape(x.shape)

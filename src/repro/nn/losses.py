@@ -1,0 +1,49 @@
+"""Losses: softmax cross-entropy for classification, sequence labelling
+and masked language modelling (``ignore_index`` masks non-predicted
+positions, as in BERT's MLM)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Loss
+
+IGNORE_INDEX = -100
+
+
+def _log_softmax(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    z = x - m
+    return z - np.log(np.exp(z).sum(axis=-1, keepdims=True))
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean cross entropy over valid targets.
+
+    Accepts logits of shape (B, C) or (B, T, C) with integer targets of
+    shape (B,) / (B, T); targets equal to ``ignore_index`` contribute
+    neither loss nor gradient.
+    """
+
+    def __init__(self, ignore_index: int = IGNORE_INDEX):
+        self.ignore_index = ignore_index
+
+    def forward_backward(self, logits: np.ndarray,
+                         targets: np.ndarray) -> tuple[float, np.ndarray]:
+        orig_shape = logits.shape
+        C = orig_shape[-1]
+        flat = logits.reshape(-1, C)
+        tgt = targets.reshape(-1)
+        valid = tgt != self.ignore_index
+        nvalid = int(valid.sum())
+        if nvalid == 0:
+            return 0.0, np.zeros(orig_shape, dtype=logits.dtype)
+        logp = _log_softmax(flat[valid].astype(np.float64))
+        rows = np.arange(nvalid)
+        picked = tgt[valid].astype(np.int64)
+        loss = float(-logp[rows, picked].mean())
+        dflat = np.zeros_like(flat)
+        probs = np.exp(logp)
+        probs[rows, picked] -= 1.0
+        dflat[valid] = (probs / nvalid).astype(logits.dtype)
+        return loss, dflat.reshape(orig_shape)

@@ -1,0 +1,37 @@
+"""The paper's three evaluation models (Table 2)."""
+
+from .bert import (
+    BertConfig,
+    MiniBertLM,
+    PAPER_BERT_PARAMS,
+    bert_base_param_count,
+    bert_flops,
+    make_bert_model,
+    minibert_param_count,
+)
+from .lstm_speech import (
+    AN4_FULL_HIDDEN,
+    LSTMSpeech,
+    PAPER_LSTM_PARAMS,
+    lstm_speech_flops,
+    lstm_speech_param_count,
+    make_lstm_speech_model,
+)
+from .vgg import (
+    PAPER_VGG16_PARAMS,
+    VGG16_CFG,
+    build_vgg16,
+    make_vgg16_model,
+    vgg16_flops,
+    vgg16_param_count,
+)
+
+__all__ = [
+    "BertConfig", "MiniBertLM", "PAPER_BERT_PARAMS",
+    "bert_base_param_count", "bert_flops", "make_bert_model",
+    "minibert_param_count",
+    "AN4_FULL_HIDDEN", "LSTMSpeech", "PAPER_LSTM_PARAMS",
+    "lstm_speech_flops", "lstm_speech_param_count", "make_lstm_speech_model",
+    "PAPER_VGG16_PARAMS", "VGG16_CFG", "build_vgg16", "make_vgg16_model",
+    "vgg16_flops", "vgg16_param_count",
+]

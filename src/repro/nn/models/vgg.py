@@ -1,0 +1,97 @@
+"""VGG-16 for CIFAR-10 (Table 2 row 1: 14,728,266 parameters).
+
+The paper's count matches VGG-16 with batch normalization and a single
+512 -> 10 classifier head on 32x32 inputs (five 2x2 max-pools reduce the
+feature map to 1x1x512).  ``width_mult`` scales every channel count so the
+same architecture trains quickly in pure numpy for the convergence
+experiments; ``width_mult=1.0`` reproduces the paper's parameter count
+exactly (verified in the Table 2 benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+from ..conv import Conv2d
+from ..activation import ReLU
+from ..losses import SoftmaxCrossEntropy
+from ..module import FlatModel, Flatten, Module, Sequential
+from ..norm import BatchNorm2d
+from ..pool import MaxPool2d
+from ..linear import Linear
+
+#: VGG-16 configuration: output channels, "M" = 2x2 max pool
+VGG16_CFG: List[Union[int, str]] = [
+    64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+    512, 512, 512, "M", 512, 512, 512, "M",
+]
+
+PAPER_VGG16_PARAMS = 14_728_266
+
+
+def _channels(width_mult: float) -> List[Union[int, str]]:
+    return [c if c == "M" else max(1, int(round(c * width_mult)))
+            for c in VGG16_CFG]
+
+
+def build_vgg16(num_classes: int = 10, width_mult: float = 1.0,
+                in_channels: int = 3, batchnorm: bool = True,
+                seed: int = 0) -> Sequential:
+    rng = np.random.default_rng(seed)
+    layers: List[Module] = []
+    cin = in_channels
+    for c in _channels(width_mult):
+        if c == "M":
+            layers.append(MaxPool2d(2))
+            continue
+        layers.append(Conv2d(cin, c, 3, padding=1, rng=rng))
+        if batchnorm:
+            layers.append(BatchNorm2d(c))
+        layers.append(ReLU())
+        cin = c
+    layers.append(Flatten())
+    layers.append(Linear(cin, num_classes, rng=rng))
+    return Sequential(*layers)
+
+
+def vgg16_param_count(width_mult: float = 1.0, num_classes: int = 10,
+                      in_channels: int = 3, batchnorm: bool = True) -> int:
+    """Analytic parameter count of :func:`build_vgg16` (verified equal to
+    the built model in the tests; equals 14,728,266 at full width)."""
+    total = 0
+    cin = in_channels
+    for c in _channels(width_mult):
+        if c == "M":
+            continue
+        total += (cin * 9 + 1) * c          # conv weights + bias
+        if batchnorm:
+            total += 2 * c                  # gamma + beta
+        cin = c
+    total += cin * num_classes + num_classes
+    return total
+
+
+def vgg16_flops(width_mult: float = 1.0, image_size: int = 32,
+                in_channels: int = 3, num_classes: int = 10) -> float:
+    """Approximate forward FLOPs per sample (2 x MACs)."""
+    flops = 0.0
+    cin = in_channels
+    hw = image_size
+    for c in _channels(width_mult):
+        if c == "M":
+            hw //= 2
+            continue
+        flops += 2.0 * cin * 9 * c * hw * hw
+        cin = c
+    flops += 2.0 * cin * num_classes
+    return flops
+
+
+def make_vgg16_model(num_classes: int = 10, width_mult: float = 1.0,
+                     seed: int = 0) -> FlatModel:
+    module = build_vgg16(num_classes=num_classes, width_mult=width_mult,
+                         seed=seed)
+    return FlatModel(module, SoftmaxCrossEntropy(),
+                     flops_per_sample=vgg16_flops(width_mult))

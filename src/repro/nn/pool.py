@@ -1,0 +1,36 @@
+"""Max pooling (kernel == stride, the VGG configuration)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling; requires H, W divisible by the kernel
+    (VGG on 32x32 satisfies this at every stage)."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        self.k = kernel_size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        B, C, H, W = x.shape
+        k = self.k
+        if H % k or W % k:
+            raise ValueError(
+                f"MaxPool2d(k={k}) needs H,W divisible by k, got {H}x{W}")
+        xr = x.reshape(B, C, H // k, k, W // k, k)
+        out = xr.max(axis=(3, 5))
+        self._cache = (x.shape, xr, out)
+        return out
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x_shape, xr, out = self._cache
+        mask = (xr == out[:, :, :, None, :, None])
+        # distribute gradient equally among tied maxima (rare for floats)
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        g = mask * (dy[:, :, :, None, :, None] / counts)
+        return g.reshape(x_shape).astype(dy.dtype, copy=False)

@@ -1,0 +1,115 @@
+"""LSTM with full backpropagation through time.
+
+PyTorch gate convention: ``[i, f, g, o]`` with two bias vectors (``b_ih``
+and ``b_hh``), so parameter counts match ``torch.nn.LSTM`` exactly:
+``4H(D + H + 2)`` per layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .module import Module, xavier_uniform
+
+
+class LSTMCellSequence(Module):
+    """One LSTM layer unrolled over time: (B, T, D) -> (B, T, H)."""
+
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        D, H = input_size, hidden_size
+        self.D, self.H = D, H
+        self.W_ih = self.add_param(
+            xavier_uniform(rng, (4 * H, D), D, H), "W_ih")
+        self.W_hh = self.add_param(
+            xavier_uniform(rng, (4 * H, H), H, H), "W_hh")
+        self.b_ih = self.add_param(np.zeros(4 * H), "b_ih")
+        self.b_hh = self.add_param(np.zeros(4 * H), "b_hh")
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        B, T, D = x.shape
+        H = self.H
+        h = np.zeros((B, H), dtype=np.float32)
+        c = np.zeros((B, H), dtype=np.float32)
+        hs = np.empty((B, T, H), dtype=np.float32)
+        caches = []
+        for t in range(T):
+            gates = (x[:, t] @ self.W_ih.data.T + self.b_ih.data
+                     + h @ self.W_hh.data.T + self.b_hh.data)
+            i = _sigmoid(gates[:, :H])
+            f = _sigmoid(gates[:, H:2 * H])
+            g = np.tanh(gates[:, 2 * H:3 * H])
+            o = _sigmoid(gates[:, 3 * H:])
+            c_next = f * c + i * g
+            tanh_c = np.tanh(c_next)
+            h_next = o * tanh_c
+            caches.append((h, c, i, f, g, o, tanh_c))
+            h, c = h_next, c_next
+            hs[:, t] = h
+        self._cache = (x, caches)
+        return hs
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x, caches = self._cache
+        B, T, D = x.shape
+        H = self.H
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((B, H), dtype=np.float32)
+        dc_next = np.zeros((B, H), dtype=np.float32)
+        for t in range(T - 1, -1, -1):
+            h_prev, c_prev, i, f, g, o, tanh_c = caches[t]
+            dh = dy[:, t] + dh_next
+            do = dh * tanh_c
+            dc = dc_next + dh * o * (1.0 - tanh_c ** 2)
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+            dgates = np.concatenate([
+                di * i * (1 - i),
+                df * f * (1 - f),
+                dg * (1 - g ** 2),
+                do * o * (1 - o),
+            ], axis=1)
+            self.W_ih.grad += dgates.T @ x[:, t]
+            self.W_hh.grad += dgates.T @ h_prev
+            s = dgates.sum(axis=0)
+            self.b_ih.grad += s
+            self.b_hh.grad += s
+            dx[:, t] = dgates @ self.W_ih.data
+            dh_next = dgates @ self.W_hh.data
+        return dx
+
+
+class LSTM(Module):
+    """Stacked unidirectional LSTM."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 *, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers: List[LSTMCellSequence] = []
+        for layer in range(num_layers):
+            d = input_size if layer == 0 else hidden_size
+            cell = LSTMCellSequence(d, hidden_size, rng=rng)
+            self.add_module(cell)
+            self.layers.append(cell)
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        for cell in self.layers:
+            x = cell.forward(x, training)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for cell in reversed(self.layers):
+            dy = cell.backward(dy)
+        return dy
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))

@@ -1,0 +1,25 @@
+"""Optimizers: dense SGD/Adam plus the paper's Algorithm 2 drivers."""
+
+from .adam import Adam
+from .lr_schedules import (
+    ConstantLR,
+    LinearDecayLR,
+    LRSchedule,
+    StepDecayLR,
+    as_schedule,
+)
+from .sgd import SGD
+from .topk_sgd import SparseOptimWrapper, StepInfo, TopkSGD
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "TopkSGD",
+    "SparseOptimWrapper",
+    "StepInfo",
+    "LRSchedule",
+    "ConstantLR",
+    "StepDecayLR",
+    "LinearDecayLR",
+    "as_schedule",
+]

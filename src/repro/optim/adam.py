@@ -1,0 +1,47 @@
+"""Adam optimizer (Kingma & Ba 2014) on flat parameter vectors.
+
+The paper's BERT runs use Adam with lr=2e-4, beta1=0.9, beta2=0.999, weight
+decay 0.01 and linear lr decay; the sparse allreduce runs on the gradients
+and Adam is applied afterwards (Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .lr_schedules import LRSchedule, as_schedule
+
+
+class Adam:
+    def __init__(self, lr=1e-3, beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr: LRSchedule = as_schedule(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Optional[np.ndarray] = None
+        self._v: Optional[np.ndarray] = None
+        self.t = 0
+
+    def step(self, params: np.ndarray, grad: np.ndarray) -> None:
+        self.t += 1
+        lr = self.lr(self.t)
+        g = grad.astype(np.float32, copy=False)
+        if self.weight_decay:
+            g = g + self.weight_decay * params
+        if self._m is None:
+            self._m = np.zeros_like(params, dtype=np.float32)
+            self._v = np.zeros_like(params, dtype=np.float32)
+        self._m *= self.beta1
+        self._m += (1 - self.beta1) * g
+        self._v *= self.beta2
+        self._v += (1 - self.beta2) * np.square(g)
+        mhat = self._m / (1 - self.beta1 ** self.t)
+        vhat = self._v / (1 - self.beta2 ** self.t)
+        params -= (lr * mhat / (np.sqrt(vhat) + self.eps)).astype(
+            params.dtype, copy=False)

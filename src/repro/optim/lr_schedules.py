@@ -1,0 +1,57 @@
+"""Learning-rate schedules.
+
+The paper uses: SGD with simple diminishing rates for VGG-16/LSTM, and Adam
+with warmup-free linear decay for BERT.  ``t`` is the 1-based iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+
+class LRSchedule(Protocol):
+    def __call__(self, t: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class ConstantLR:
+    lr: float
+
+    def __call__(self, t: int) -> float:
+        return self.lr
+
+
+@dataclass(frozen=True)
+class StepDecayLR:
+    """Multiply the rate by ``factor`` at each milestone iteration."""
+
+    lr: float
+    milestones: Sequence[int]
+    factor: float = 0.1
+
+    def __call__(self, t: int) -> float:
+        drops = sum(1 for m in self.milestones if t >= m)
+        return self.lr * (self.factor ** drops)
+
+
+@dataclass(frozen=True)
+class LinearDecayLR:
+    """Linear warmup (optional) then linear decay to zero at ``total``."""
+
+    lr: float
+    total: int
+    warmup: int = 0
+
+    def __call__(self, t: int) -> float:
+        if self.warmup and t <= self.warmup:
+            return self.lr * t / self.warmup
+        frac = max(0.0, (self.total - t) / max(1, self.total - self.warmup))
+        return self.lr * frac
+
+
+def as_schedule(lr) -> LRSchedule:
+    """Coerce a float into a constant schedule."""
+    if callable(lr):
+        return lr
+    return ConstantLR(float(lr))

@@ -1,0 +1,117 @@
+"""Ok-Topk SGD — Algorithm 2 of the paper — and the error-feedback wrapper
+for adaptive optimizers (the paper's BERT/Adam mode).
+
+Algorithm 2 (per worker ``i``, iteration ``t``)::
+
+    acc_t  = eps_{t-1} + alpha * G_{t-1}(w_{t-1})     # accumulate residuals
+    u_t, indexes = Ok_sparse_allreduce(acc_t, t, k)
+    eps_t  = acc_t ;  eps_t[indexes] = 0              # update residuals
+    w_t    = w_{t-1} - u_t / P                        # apply model update
+
+The residuals keep every gradient entry that did not contribute to the
+global top-k so it can contribute later (error feedback); dense baselines
+contribute everything and keep no residual.
+
+Works with *any* :class:`repro.allreduce.GradientAllreduce` — that is how
+the paper compares the six schemes under an identical optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from ..allreduce.base import AllreduceResult, GradientAllreduce
+from ..comm import SimComm
+from ..sparse import COOVector
+from .lr_schedules import LRSchedule, as_schedule
+
+
+@dataclass
+class StepInfo:
+    """Diagnostics of one distributed optimizer step."""
+
+    t: int
+    lr: float
+    result: AllreduceResult
+    residual_norm: float
+
+    @property
+    def phase_times(self) -> Dict[str, float]:
+        return self.result.phase_times
+
+
+def _apply_update(params: np.ndarray, update, scale: float) -> None:
+    """``params -= scale * update`` for sparse or dense updates."""
+    if isinstance(update, COOVector):
+        params[update.indices] -= (scale * update.values).astype(
+            params.dtype, copy=False)
+    else:
+        params -= (scale * update).astype(params.dtype, copy=False)
+
+
+class TopkSGD:
+    """Algorithm 2: plain SGD with residual accumulation.
+
+    Args:
+        allreduce: the gradient reduction scheme (one instance per worker).
+        lr: learning rate or schedule (the paper's ``alpha``).
+        n: number of model parameters (residual buffer size).
+    """
+
+    def __init__(self, allreduce: GradientAllreduce, lr, n: int):
+        self.allreduce = allreduce
+        self.lr: LRSchedule = as_schedule(lr)
+        self.residual = np.zeros(n, dtype=np.float32)
+        self.t = 0
+
+    def step(self, comm: SimComm, params: np.ndarray,
+             grad: np.ndarray) -> StepInfo:
+        """One synchronous data-parallel step; mutates ``params``."""
+        self.t += 1
+        lr = self.lr(self.t)
+        acc = self.residual + lr * grad.astype(np.float32, copy=False)
+        result = self.allreduce.reduce(comm, acc, self.t)
+        # residual update: keep what did not contribute
+        self.residual = acc
+        if result.contributed_indices is None:
+            self.residual = np.zeros_like(acc)
+        else:
+            self.residual[result.contributed_indices] = 0.0
+        _apply_update(params, result.update, 1.0 / comm.size)
+        return StepInfo(t=self.t, lr=lr, result=result,
+                        residual_norm=float(np.linalg.norm(self.residual)))
+
+
+class SparseOptimWrapper:
+    """Error-feedback sparsification around an inner (adaptive) optimizer.
+
+    The paper's BERT mode: "sparse allreduce is conducted on the gradients
+    and Adam optimizer is applied afterwards" (Section 5).  Residuals are
+    accumulated on raw gradients; the inner optimizer consumes the averaged
+    sparse update as its gradient estimate.
+    """
+
+    def __init__(self, allreduce: GradientAllreduce, inner: Any, n: int):
+        self.allreduce = allreduce
+        self.inner = inner
+        self.residual = np.zeros(n, dtype=np.float32)
+        self.t = 0
+
+    def step(self, comm: SimComm, params: np.ndarray,
+             grad: np.ndarray) -> StepInfo:
+        self.t += 1
+        acc = self.residual + grad.astype(np.float32, copy=False)
+        result = self.allreduce.reduce(comm, acc, self.t)
+        self.residual = acc
+        if result.contributed_indices is None:
+            self.residual = np.zeros_like(acc)
+        else:
+            self.residual[result.contributed_indices] = 0.0
+        g_hat = result.update_dense(params.size) / comm.size
+        self.inner.step(params, g_hat)
+        lr = self.inner.lr(self.inner.t) if hasattr(self.inner, "lr") else 0.0
+        return StepInfo(t=self.t, lr=float(lr), result=result,
+                        residual_norm=float(np.linalg.norm(self.residual)))

@@ -1,0 +1,21 @@
+"""Gradient quantization extension (sparsification + quantization, the
+orthogonal technique of Section 2 / SparCML)."""
+
+from ..allreduce.registry import register
+from .allreduce_q import QuantizedOkTopkAllreduce, QuantizedTopkAAllreduce
+from .codec import SUPPORTED_BITS, LinearQuantizer, QuantArray
+from .sparse_q import QCOOPayload, dequantize_coo, quantize_coo
+
+register(QuantizedTopkAAllreduce)
+register(QuantizedOkTopkAllreduce)
+
+__all__ = [
+    "LinearQuantizer",
+    "QuantArray",
+    "SUPPORTED_BITS",
+    "QCOOPayload",
+    "quantize_coo",
+    "dequantize_coo",
+    "QuantizedTopkAAllreduce",
+    "QuantizedOkTopkAllreduce",
+]

@@ -1,0 +1,94 @@
+"""Quantized variants of the sparse allreduce schemes.
+
+* :class:`QuantizedTopkAAllreduce` ("topka_q") — SparCML's combination:
+  local top-k, values quantized to ``bits``, allgatherv, dequantize + sum.
+* :class:`QuantizedOkTopkAllreduce` ("oktopk_q") — Ok-Topk with quantized
+  *phase-2* payloads (the balance-and-allgatherv values).  Phase 1 stays
+  full precision: its partial sums feed the global threshold, and
+  re-quantizing at every hop would compound errors; phase 2 ships the
+  final values to everyone, which is where most of the volume is safe to
+  compress.  This is the paper's "orthogonal technique" footnote turned
+  into a working extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..allreduce.base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, \
+    GradientAllreduce
+from ..allreduce.oktopk import OkTopkAllreduce
+from ..comm import SimComm, collectives as coll
+from ..sparse import COOVector, combine_sum, exact_topk
+from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
+from .codec import LinearQuantizer
+from .sparse_q import QCOOPayload, dequantize_coo, quantize_coo
+
+
+class QuantizedTopkAAllreduce(GradientAllreduce):
+    """TopkA with quantized values (sparsification + quantization)."""
+
+    name = "topka_q"
+
+    def __init__(self, *, bits: int = 8, stochastic: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        self.quantizer = LinearQuantizer(bits, stochastic=stochastic)
+
+    def _reduce(self, comm: SimComm, acc: np.ndarray,
+                t: int) -> AllreduceResult:
+        k = self.resolve_k(acc.size)
+        with comm.phase(PHASE_SPARSIFY):
+            local = exact_topk(acc, k)
+            comm.compute_topk(acc.size, k)
+            payload = quantize_coo(local, self.quantizer)
+            comm.compute_scan(local.nnz)
+        with comm.phase(PHASE_COMM):
+            gathered = coll.allgatherv_coo(comm, payload)
+            vecs = [dequantize_coo(p, self.quantizer) for p in gathered]
+            total = combine_sum(vecs)
+            comm.compute_words(sum(v.nnz for v in vecs))
+        return AllreduceResult(
+            update=total,
+            contributed_indices=local.indices,
+            info={"k": k, "selected": local.nnz, "output_nnz": total.nnz,
+                  "bits": self.quantizer.bits,
+                  "payload_words": payload.comm_nwords()},
+        )
+
+
+class QuantizedOkTopkAllreduce(OkTopkAllreduce):
+    """Ok-Topk shipping quantized global top-k values in phase 2."""
+
+    name = "oktopk_q"
+
+    def __init__(self, *, bits: int = 8, stochastic: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        self.quantizer = LinearQuantizer(bits, stochastic=stochastic)
+
+    def _balance_and_allgatherv(self, comm: SimComm, reduced: COOVector,
+                                global_th: float) -> tuple[COOVector, bool]:
+        p = comm.size
+        n = reduced.n
+        mine = (reduced.select_threshold(global_th) if global_th > 0
+                else reduced)
+        comm.compute_scan(reduced.nnz)
+        if p == 1:
+            return mine, False
+        sizes = coll.allgather_object(comm, mine.nnz)
+        total = int(sum(sizes))
+        balanced = False
+        idx, val = mine.indices, mine.values
+        if (self.data_balancing and total > 0
+                and max(sizes) > self.balance_trigger * total / p):
+            idx, val = self._rebalance(comm, idx, val, sizes)
+            balanced = True
+            self.balancing_triggered += 1
+        payload = QCOOPayload(n, idx, self.quantizer.encode(val))
+        comm.compute_scan(len(val))
+        pieces = coll.allgatherv(comm, payload)
+        cat_idx = np.concatenate(
+            [pc.indices for pc in pieces]).astype(INDEX_DTYPE)
+        cat_val = np.concatenate(
+            [self.quantizer.decode(pc.qvalues) for pc in pieces]
+        ).astype(VALUE_DTYPE)
+        return COOVector(n, cat_idx, cat_val), balanced

@@ -1,0 +1,40 @@
+"""Quantized COO payloads: the sparsification + quantization combination.
+
+A :class:`QCOOPayload` carries int32 indices (1 word each, uncompressed —
+they must stay exact) and quantized values; total wire size is
+``k + ceil(k * bits / 32) + 2`` words instead of ``2k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse import COOVector
+from ..sparse.coo import INDEX_DTYPE
+from .codec import LinearQuantizer, QuantArray
+
+
+@dataclass(frozen=True)
+class QCOOPayload:
+    """A quantized sparse vector on the wire."""
+
+    n: int
+    indices: np.ndarray
+    qvalues: QuantArray
+
+    def comm_nwords(self) -> int:
+        return int(self.indices.size) + self.qvalues.comm_nwords()
+
+
+def quantize_coo(vec: COOVector, quantizer: LinearQuantizer) -> QCOOPayload:
+    return QCOOPayload(vec.n, vec.indices, quantizer.encode(vec.values))
+
+
+def dequantize_coo(payload: QCOOPayload,
+                   quantizer: LinearQuantizer) -> COOVector:
+    values = quantizer.decode(payload.qvalues)
+    return COOVector(payload.n,
+                     payload.indices.astype(INDEX_DTYPE, copy=False),
+                     values)

@@ -1,0 +1,54 @@
+"""Sparse gradient primitives: COO vectors, top-k selection, threshold
+estimation and gradient-space partitioning."""
+
+from .coo import COOVector, combine_sum, INDEX_DTYPE, VALUE_DTYPE
+from .metrics import SelectionStats, density, fill_in_ratio, selection_stats
+from .partition import (
+    balanced_boundaries_local,
+    equal_boundaries,
+    imbalance,
+    region_counts,
+    region_of,
+    sanitize_boundaries,
+    validate_boundaries,
+)
+from .threshold import (
+    ReusedThreshold,
+    adjusted_gaussian_threshold,
+    exact_threshold,
+    gaussian_threshold,
+)
+from .topk import (
+    exact_topk,
+    kth_largest_abs,
+    threshold_indices,
+    threshold_select,
+    topk_indices,
+)
+
+__all__ = [
+    "COOVector",
+    "combine_sum",
+    "INDEX_DTYPE",
+    "VALUE_DTYPE",
+    "exact_topk",
+    "kth_largest_abs",
+    "topk_indices",
+    "threshold_indices",
+    "threshold_select",
+    "exact_threshold",
+    "gaussian_threshold",
+    "adjusted_gaussian_threshold",
+    "ReusedThreshold",
+    "equal_boundaries",
+    "balanced_boundaries_local",
+    "sanitize_boundaries",
+    "region_of",
+    "region_counts",
+    "imbalance",
+    "validate_boundaries",
+    "SelectionStats",
+    "density",
+    "fill_in_ratio",
+    "selection_stats",
+]

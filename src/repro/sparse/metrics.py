@@ -1,0 +1,49 @@
+"""Sparsity statistics used by the Figure 6 / Section 5.2 analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coo import COOVector
+
+
+def density(vec: COOVector) -> float:
+    """Fraction of non-zeros, the paper's ``k/n``."""
+    return vec.density
+
+
+def fill_in_ratio(output: COOVector, k: int) -> float:
+    """How much the reduction output support grew relative to ``k``.
+
+    TopkA/TopkDSA suffer from fill-in: the union of P workers' top-k
+    supports can approach ``min(P*k, n)`` (13.2% / 34.5% output density
+    reported in Section 5.2).
+    """
+    if k <= 0:
+        raise ValueError("k must be >= 1")
+    return output.nnz / k
+
+
+@dataclass(frozen=True)
+class SelectionStats:
+    """Accuracy of a threshold-based selection against the target k."""
+
+    target_k: int
+    selected: int
+
+    @property
+    def deviation(self) -> float:
+        """Relative deviation |selected - k| / k (paper reports <11%)."""
+        return abs(self.selected - self.target_k) / self.target_k
+
+    @property
+    def underestimated(self) -> bool:
+        return self.selected < self.target_k
+
+
+def selection_stats(x: np.ndarray, threshold: float,
+                    k: int) -> SelectionStats:
+    selected = int(np.count_nonzero(np.abs(x) >= threshold))
+    return SelectionStats(target_k=k, selected=selected)

@@ -1,0 +1,89 @@
+"""Gradient-space partitioning for split-and-reduce (Section 3.1.1).
+
+The gradient index space ``[0, n)`` is cut into ``P`` contiguous regions;
+worker ``i`` owns the reduction of region ``i``.  A *naive* equal split can
+be badly imbalanced because local top-k coordinates cluster (e.g. in
+specific layers).  The *balanced* split puts approximately ``k/P`` of each
+worker's local top-k coordinates into every region; workers agree by
+averaging their boundary vectors with a small allreduce (P words), repeated
+every ``tau`` iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PartitionError
+
+
+def equal_boundaries(n: int, p: int) -> np.ndarray:
+    """Naive split: P near-equal contiguous regions of ``[0, n)``."""
+    if p < 1 or n < 0:
+        raise PartitionError(f"invalid partition request n={n}, P={p}")
+    return np.linspace(0, n, p + 1).astype(np.int64)
+
+
+def balanced_boundaries_local(indices: np.ndarray, n: int,
+                              p: int) -> np.ndarray:
+    """One worker's proposal: boundaries that equalize its own local top-k
+    coordinate counts across regions (quantiles of the index distribution).
+
+    Returns a float vector of length ``P+1`` suitable for consensus
+    averaging; degenerates to the equal split when the worker has no
+    selected coordinates.
+    """
+    if p < 1:
+        raise PartitionError(f"invalid partition request P={p}")
+    idx = np.sort(np.asarray(indices))
+    if idx.size == 0:
+        return equal_boundaries(n, p).astype(np.float64)
+    # Quantile positions: boundary j should sit after j*k/P selected coords.
+    qpos = np.arange(1, p) * idx.size / p
+    inner = idx[np.minimum(np.floor(qpos).astype(np.int64),
+                           idx.size - 1)].astype(np.float64)
+    return np.concatenate(([0.0], inner, [float(n)]))
+
+
+def sanitize_boundaries(raw: np.ndarray, n: int) -> np.ndarray:
+    """Turn an averaged (float, possibly unordered after rounding) boundary
+    vector into a valid integer partition of ``[0, n)``."""
+    b = np.asarray(raw, dtype=np.float64).copy()
+    b = np.clip(b, 0.0, float(n))
+    b = np.maximum.accumulate(b)  # enforce monotonicity
+    out = np.rint(b).astype(np.int64)
+    out[0] = 0
+    out[-1] = n
+    out = np.maximum.accumulate(out)
+    return out
+
+
+def region_of(boundaries: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Region id for each index under the given boundaries."""
+    return np.searchsorted(boundaries[1:-1], indices, side="right")
+
+
+def region_counts(boundaries: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Number of the given indices falling into each region."""
+    p = len(boundaries) - 1
+    return np.bincount(region_of(boundaries, indices), minlength=p)
+
+
+def imbalance(boundaries: np.ndarray, indices: np.ndarray) -> float:
+    """Max/mean ratio of per-region selected-coordinate counts (1.0 is
+    perfectly balanced; the naive split can reach P)."""
+    counts = region_counts(boundaries, indices)
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)
+
+
+def validate_boundaries(boundaries: np.ndarray, n: int) -> None:
+    b = np.asarray(boundaries)
+    if b.ndim != 1 or b.size < 2:
+        raise PartitionError("boundaries must be a 1-D vector of length P+1")
+    if b[0] != 0 or b[-1] != n:
+        raise PartitionError(
+            f"boundaries must span [0, {n}], got [{b[0]}, {b[-1]}]")
+    if np.any(np.diff(b) < 0):
+        raise PartitionError("boundaries must be non-decreasing")

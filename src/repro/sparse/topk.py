@@ -1,0 +1,70 @@
+"""Top-k selection primitives on dense gradients.
+
+The paper distinguishes (Section 3.1.3):
+
+* *exact* top-k: sort-based, accurate but expensive on accelerators;
+* *threshold* selection: a single linear scan ``|g| >= t``, cheap, used
+  every iteration with a periodically re-evaluated threshold.
+
+All selections are deterministic: ties at the threshold magnitude break
+toward the lower index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import COOVector, INDEX_DTYPE
+
+
+def kth_largest_abs(x: np.ndarray, k: int) -> float:
+    """The k-th largest ``|x|`` — the paper's "accurate threshold".
+
+    For ``k > x.size`` returns 0 (everything selected); ``k <= 0`` is an
+    error because no finite threshold selects nothing in general.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = x.size
+    if k > n:
+        return 0.0
+    mag = np.abs(x).ravel()
+    return float(np.partition(mag, n - k)[n - k])
+
+
+def topk_indices(x: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries, sorted ascending."""
+    n = x.size
+    if k <= 0:
+        return np.empty(0, dtype=INDEX_DTYPE)
+    if k >= n:
+        return np.arange(n, dtype=INDEX_DTYPE)
+    mag = np.abs(x).ravel()
+    kth = np.partition(mag, n - k)[n - k]
+    strictly = mag > kth
+    need = k - int(strictly.sum())
+    sel = strictly
+    if need > 0:
+        at_kth = np.flatnonzero(mag == kth)
+        sel = strictly.copy()
+        sel[at_kth[:need]] = True
+    return np.flatnonzero(sel).astype(INDEX_DTYPE)
+
+
+def exact_topk(x: np.ndarray, k: int) -> COOVector:
+    """Exact top-k sparsification of a dense vector."""
+    idx = topk_indices(x, k)
+    return COOVector.from_arrays(x.size, idx,
+                                 x.ravel()[idx], sort=False)
+
+
+def threshold_indices(x: np.ndarray, threshold: float) -> np.ndarray:
+    """Indices with ``|x| >= threshold`` (one linear scan)."""
+    return np.flatnonzero(np.abs(x).ravel() >= threshold).astype(INDEX_DTYPE)
+
+
+def threshold_select(x: np.ndarray, threshold: float) -> COOVector:
+    """Threshold sparsification — Ok-Topk's per-iteration selection."""
+    idx = threshold_indices(x, threshold)
+    return COOVector.from_arrays(x.size, idx,
+                                 x.ravel()[idx], sort=False)

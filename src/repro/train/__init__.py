@@ -1,0 +1,35 @@
+"""Data-parallel training: trainer, metrics, records, ξ measurement."""
+
+from .metrics import (
+    collapse_repeats,
+    edit_distance,
+    top1_accuracy,
+    word_error_rate,
+)
+from .records import IterationRecord, RunRecord
+from .trainer import (
+    DENSE_SCHEMES,
+    BatchSource,
+    TrainableModel,
+    Trainer,
+    TrainerConfig,
+    build_allreduce,
+)
+from .xi import measure_xi, xi_value
+
+__all__ = [
+    "Trainer",
+    "TrainerConfig",
+    "TrainableModel",
+    "BatchSource",
+    "build_allreduce",
+    "DENSE_SCHEMES",
+    "IterationRecord",
+    "RunRecord",
+    "top1_accuracy",
+    "word_error_rate",
+    "edit_distance",
+    "collapse_repeats",
+    "measure_xi",
+    "xi_value",
+]

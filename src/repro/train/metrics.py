@@ -1,0 +1,64 @@
+"""Evaluation metrics: top-1 accuracy (VGG), word error rate (LSTM),
+masked-LM loss (BERT)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    return float(np.mean(np.argmax(logits, axis=1) == labels))
+
+
+def edit_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Levenshtein distance via the classic DP, vectorized per row."""
+    a, b = list(a), list(b)
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    prev = np.arange(len(b) + 1)
+    bv = np.asarray(b)
+    for i, ca in enumerate(a, start=1):
+        cur = np.empty(len(b) + 1, dtype=np.int64)
+        cur[0] = i
+        sub = prev[:-1] + (bv != ca)
+        dele = prev[1:] + 1
+        # insertion needs a sequential pass: cur[j] depends on cur[j-1]
+        best = np.minimum(sub, dele)
+        running = cur[0]
+        for j in range(1, len(b) + 1):
+            running = min(best[j - 1], running + 1)
+            cur[j] = running
+        prev = cur
+    return int(prev[-1])
+
+
+def word_error_rate(hyps: Sequence[Sequence[int]],
+                    refs: Sequence[Sequence[int]]) -> float:
+    """Corpus-level WER: total edit distance / total reference length.
+
+    Stands in for the paper's AN4 WER; our speech proxy decodes framewise
+    label sequences (collapsed repeats) — same metric, synthetic task.
+    """
+    if len(hyps) != len(refs):
+        raise ValueError("hypothesis/reference count mismatch")
+    dist = sum(edit_distance(h, r) for h, r in zip(hyps, refs))
+    total = sum(len(r) for r in refs)
+    return dist / max(1, total)
+
+
+def collapse_repeats(seq: Sequence[int]) -> list:
+    """CTC-style collapse of consecutive duplicates (no blank symbol)."""
+    out = []
+    prev = None
+    for s in seq:
+        if s != prev:
+            out.append(int(s))
+        prev = s
+    return out

@@ -1,0 +1,174 @@
+"""Data-parallel SPMD trainer gluing model, optimizer and allreduce.
+
+Each rank runs :class:`Trainer` inside an SPMD program (see
+:func:`repro.comm.run_spmd`).  An iteration:
+
+1. draw the rank's mini-batch shard,
+2. forward/backward (real numpy math) and charge the simulated compute
+   time from the model's FLOP estimate,
+3. distributed optimizer step — Algorithm 2 (``TopkSGD``) or the
+   error-feedback wrapper around Adam (the paper's BERT mode) — which runs
+   the configured allreduce scheme and charges sparsification +
+   communication time,
+4. record the per-phase breakdown; for overlappable schemes (DenseOvlp)
+   the iteration time credits communication overlapped with backward
+   (``overlap_backward_fraction`` of compute).
+
+Evaluation and ξ measurement are diagnostics and do not consume simulated
+time (the paper also excludes them from the runtime-per-iteration bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Protocol
+
+import numpy as np
+
+from ..allreduce import make_allreduce
+from ..comm import SimComm
+from ..errors import ConfigError
+from ..optim import Adam, SparseOptimWrapper, TopkSGD
+from .records import IterationRecord, RunRecord
+from .xi import measure_xi
+
+
+class TrainableModel(Protocol):
+    """What the trainer needs from a model (see repro.nn.FlatModel)."""
+
+    @property
+    def nparams(self) -> int: ...
+
+    @property
+    def params_flat(self) -> np.ndarray: ...
+
+    def loss_and_grad(self, x: np.ndarray,
+                      y: np.ndarray) -> tuple[float, np.ndarray]: ...
+
+    def train_flops(self, batch_size: int) -> float: ...
+
+
+class BatchSource(Protocol):
+    def next_batch(self, t: int) -> tuple[np.ndarray, np.ndarray]: ...
+
+
+@dataclass
+class TrainerConfig:
+    """Configuration of one training run."""
+
+    iterations: int
+    scheme: str = "oktopk"
+    scheme_kwargs: Dict[str, Any] = field(default_factory=dict)
+    density: Optional[float] = 0.01
+    k: Optional[int] = None
+    mode: str = "sgd"                 # "sgd" (Algorithm 2) | "adam" (wrapped)
+    lr: Any = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    adam_beta1: float = 0.9
+    adam_beta2: float = 0.999
+    eval_every: int = 0
+    xi_every: int = 0
+    overlap_backward_fraction: float = 2.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        if self.mode not in ("sgd", "adam"):
+            raise ConfigError(f"unknown mode {self.mode!r}")
+
+
+DENSE_SCHEMES = {"dense", "dense_ovlp"}
+
+
+def build_allreduce(cfg: TrainerConfig):
+    kwargs = dict(cfg.scheme_kwargs)
+    if cfg.scheme not in DENSE_SCHEMES:
+        if cfg.k is not None:
+            kwargs["k"] = cfg.k
+        elif cfg.density is not None:
+            kwargs["density"] = cfg.density
+    return make_allreduce(cfg.scheme, **kwargs)
+
+
+class Trainer:
+    """Per-rank training driver."""
+
+    def __init__(self, comm: SimComm, model: TrainableModel,
+                 batches: BatchSource, cfg: TrainerConfig,
+                 eval_fn: Optional[Callable[[Any], Dict[str, float]]] = None):
+        self.comm = comm
+        self.model = model
+        self.batches = batches
+        self.cfg = cfg
+        self.eval_fn = eval_fn
+        self.allreduce = build_allreduce(cfg)
+        n = model.nparams
+        if cfg.mode == "adam":
+            inner = Adam(lr=cfg.lr, beta1=cfg.adam_beta1,
+                         beta2=cfg.adam_beta2,
+                         weight_decay=cfg.weight_decay)
+            self.driver = SparseOptimWrapper(self.allreduce, inner, n)
+            self._alpha_for_xi = 1.0
+        else:
+            self.driver = TopkSGD(self.allreduce, cfg.lr, n)
+            self._alpha_for_xi = None  # use the schedule value per step
+        self.record = RunRecord(scheme=cfg.scheme, p=comm.size)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunRecord:
+        comm, cfg, model = self.comm, self.cfg, self.model
+        for t in range(1, cfg.iterations + 1):
+            x, y = self.batches.next_batch(t)
+            loss, grad = model.loss_and_grad(x, y)
+
+            clock0 = comm.clock
+            comm.compute(0.0)  # anchor
+            with comm.phase("compute"):
+                comm.compute_flops(model.train_flops(len(x)))
+            compute_time = comm.clock - clock0
+
+            xi = None
+            if cfg.xi_every and t % cfg.xi_every == 0:
+                xi = self._measure_xi(grad, t)
+
+            step_clock = comm.clock
+            info = self.driver.step(comm, model.params_flat, grad)
+            step_time = comm.clock - step_clock
+            res = info.result
+
+            sparsify = res.sparsify_time
+            comm_t = max(0.0, step_time - sparsify)
+            if res.overlappable:
+                credit = cfg.overlap_backward_fraction * compute_time
+                visible_comm = max(0.0, comm_t - credit)
+            else:
+                visible_comm = comm_t
+            iter_time = compute_time + sparsify + visible_comm
+
+            rec = IterationRecord(
+                t=t, loss=float(loss), lr=float(info.lr),
+                compute_time=compute_time, sparsify_time=sparsify,
+                comm_time=comm_t, iteration_time=iter_time,
+                words_recv=int(comm.net.words_recv[comm.rank]),
+                selected=res.info.get("selected",
+                                      res.info.get("selected_local")),
+                xi=xi,
+            )
+            if cfg.eval_every and self.eval_fn is not None and (
+                    t % cfg.eval_every == 0 or t == cfg.iterations):
+                rec.eval_metrics = self.eval_fn(model)
+            self.record.append(rec)
+        return self.record
+
+    # ------------------------------------------------------------------
+    def _measure_xi(self, grad: np.ndarray, t: int) -> float:
+        cfg = self.cfg
+        if cfg.mode == "adam":
+            alpha = 1.0
+        else:
+            alpha = self.driver.lr(self.driver.t + 1)
+        scaled = (alpha * grad).astype(np.float32)
+        acc = self.driver.residual + scaled
+        k = self.allreduce.resolve_k(self.model.nparams)
+        return measure_xi(self.comm, acc, scaled, k)

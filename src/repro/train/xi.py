@@ -1,0 +1,67 @@
+"""Empirical ξ of Assumption 1 (Section 4.1, evaluated in Figure 5).
+
+Assumption 1 bounds the gap between the *true* global top-k of the summed
+accumulators and what Top-k SGD actually applies::
+
+    || Topk(1/P sum_i acc_i)  -  Topk(1/P sum_i Topk(acc_i)) ||
+        <=  xi * || alpha * G_t(w_t) ||
+
+with ``acc_i = alpha*G_i + eps_i``.  If ξ stays small (relative to P), the
+convergence proof of Alistarh et al. applies.
+
+Measurement requires cross-worker state, so it gathers the dense
+accumulators to rank 0.  To keep this *diagnostic* from polluting the
+simulated timing/volume statistics, the network state is checkpointed and
+restored around the measurement (all ranks must call this collectively).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..comm import SimComm, collectives as coll
+from ..sparse import exact_topk
+
+
+def xi_value(accs: list[np.ndarray], scaled_grads: list[np.ndarray],
+             k: int) -> float:
+    """Compute ξ centrally from every worker's accumulator and α-scaled
+    gradient."""
+    p = len(accs)
+    mean_acc = np.mean(accs, axis=0)
+    true_topk = exact_topk(mean_acc, k).to_dense()
+    mean_of_topk = np.mean([exact_topk(a, k).to_dense() for a in accs],
+                           axis=0)
+    applied = exact_topk(mean_of_topk, k).to_dense()
+    gap = float(np.linalg.norm(true_topk - applied))
+    denom = float(np.linalg.norm(np.mean(scaled_grads, axis=0)))
+    if denom == 0.0:
+        return 0.0 if gap == 0.0 else float("inf")
+    return gap / denom
+
+
+def measure_xi(comm: SimComm, acc: np.ndarray, scaled_grad: np.ndarray,
+               k: int) -> float:
+    """Collective ξ measurement; returns the same value on every rank.
+
+    Timing/volume side effects of the gathers are rolled back via the
+    network checkpoint, so Figure 5 instrumentation does not change the
+    Figure 8-13 numbers.
+    """
+    coll.barrier(comm)
+    state: Optional[dict] = None
+    if comm.rank == 0:
+        state = comm.net.save_state()
+    accs = coll.gather(comm, acc, root=0)
+    grads = coll.gather(comm, scaled_grad, root=0)
+    xi: Optional[float] = None
+    if comm.rank == 0:
+        xi = xi_value(accs, grads, k)
+    xi = coll.bcast(comm, xi, root=0)
+    coll.barrier(comm)
+    if comm.rank == 0:
+        comm.net.restore_state(state)
+    coll.barrier(comm)
+    return float(xi)

@@ -1,0 +1,68 @@
+"""The benchmark harness itself: proxies, projections, formatting."""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import PAPER_ORDER
+from repro.bench import (
+    PAPER_MODEL_SIZES,
+    bert_proxy,
+    format_table,
+    lstm_proxy,
+    paper_scale_breakdown,
+    train_scheme,
+    vgg_proxy,
+)
+from repro.bench.harness import proxy_network
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.001]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1e-9], [12345.678], [0.5], [0.0]])
+        assert "1.000e-09" in text
+        assert "1.235e+04" in text
+        assert "0.5" in text
+
+
+class TestProxies:
+    @pytest.mark.parametrize("builder", [vgg_proxy, lstm_proxy, bert_proxy])
+    def test_build_and_short_train(self, builder):
+        proxy = builder()
+        rec = train_scheme(proxy, "oktopk", 2, 2, density=0.05,
+                           network=proxy_network())
+        assert len(rec.records) == 2
+        assert rec.records[0].compute_time > 0
+        assert np.isfinite(rec.records[-1].loss)
+
+    def test_proxies_have_eval(self):
+        for builder, key in ((vgg_proxy, "acc"), (lstm_proxy, "wer"),
+                             (bert_proxy, "loss")):
+            proxy = builder()
+            rec = train_scheme(proxy, "dense", 2, 2, eval_every=2,
+                               network=proxy_network())
+            assert key in rec.final_eval()
+
+
+class TestPaperScaleProjection:
+    def test_breakdown_for_all_schemes_and_models(self):
+        for model in PAPER_MODEL_SIZES:
+            for scheme in PAPER_ORDER:
+                b = paper_scale_breakdown(model, scheme, 32)
+                assert b["total"] > 0
+                assert b["total"] == pytest.approx(
+                    b["sparsification"] + b["communication"]
+                    + b["computation+io"])
+
+    def test_oktopk_wins_at_scale_for_all_models(self):
+        for model in PAPER_MODEL_SIZES:
+            totals = {s: paper_scale_breakdown(model, s, 256)["total"]
+                      for s in PAPER_ORDER}
+            assert totals["oktopk"] == min(totals.values()), (model, totals)

@@ -1,0 +1,50 @@
+"""CLI smoke tests: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_volume(self, capsys):
+        assert main(["volume", "--scheme", "oktopk", "--n", "2048",
+                     "--p", "4", "--k", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "measured words per rank" in out
+
+    def test_volume_density_resolves_k(self, capsys):
+        assert main(["volume", "--n", "1000", "--p", "2",
+                     "--density", "0.05"]) == 0
+        assert "k=50" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--n", "1024", "--p", "4", "--k", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "oktopk" in out and "dense" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "14,728,266" in out
+        assert "133,547,324" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling", "--model", "vgg16", "--p", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "weak scaling" in out and "oktopk" in out
+
+    def test_train(self, capsys):
+        assert main(["train", "--workload", "lstm", "--scheme", "oktopk",
+                     "--workers", "2", "--iters", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "final loss" in out and "breakdown" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_parser_help_lists_subcommands(self):
+        ap = build_parser()
+        help_text = ap.format_help()
+        for cmd in ("volume", "table1", "table2", "scaling", "train"):
+            assert cmd in help_text

@@ -1,0 +1,253 @@
+"""Unit tests for the point-to-point layer of the simulated runtime."""
+
+import numpy as np
+import pytest
+
+from repro.comm import NetworkModel, Network, nwords, run_spmd
+from repro.errors import RankFailedError
+
+
+class TestPayloadSizing:
+    def test_float32_array_is_one_word_per_element(self):
+        assert nwords(np.zeros(10, dtype=np.float32)) == 10
+
+    def test_int32_array_is_one_word_per_element(self):
+        assert nwords(np.zeros(7, dtype=np.int32)) == 7
+
+    def test_float64_array_is_two_words_per_element(self):
+        assert nwords(np.zeros(5, dtype=np.float64)) == 10
+
+    def test_int64_array_is_two_words_per_element(self):
+        assert nwords(np.zeros(3, dtype=np.int64)) == 6
+
+    def test_none_is_free(self):
+        assert nwords(None) == 0
+
+    def test_scalar_is_one_word(self):
+        assert nwords(42) == 1
+        assert nwords(3.14) == 1
+
+    def test_tuple_sums_members(self):
+        payload = (np.zeros(4, dtype=np.float32), np.zeros(4, dtype=np.int32))
+        assert nwords(payload) == 8
+
+    def test_dict_sums_values(self):
+        assert nwords({"a": 1, "b": np.zeros(2, np.float32)}) == 3
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            nwords(object())
+
+
+class TestSendRecv:
+    def test_roundtrip_array(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(8, dtype=np.float32), dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res[1], np.arange(8, dtype=np.float32))
+
+    def test_fifo_ordering_same_channel(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(0, tag=3) for _ in range(5)]
+
+        res = run_spmd(2, prog)
+        assert res[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_selective_matching(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("low", dest=1, tag=1)
+                comm.send("high", dest=1, tag=2)
+                return None
+            high = comm.recv(0, tag=2)
+            low = comm.recv(0, tag=1)
+            return (high, low)
+
+        res = run_spmd(2, prog)
+        assert res[1] == ("high", "low")
+
+    def test_send_buffer_is_snapshotted(self):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(4, dtype=np.float32)
+                comm.send(buf, dest=1)
+                buf[:] = -1  # must not corrupt the in-flight message
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog)
+        np.testing.assert_array_equal(res[1], np.ones(4, dtype=np.float32))
+
+    def test_isend_waitall_roundtrip(self):
+        def prog(comm):
+            peers = [r for r in range(comm.size) if r != comm.rank]
+            sends = [comm.isend(comm.rank, dest=p, tag=9) for p in peers]
+            recvs = [comm.irecv(source=p, tag=9) for p in peers]
+            got = comm.waitall(recvs + sends)
+            return sorted(g for g in got if g is not None)
+
+        res = run_spmd(4, prog)
+        for r in range(4):
+            assert res[r] == sorted(set(range(4)) - {r})
+
+    def test_sendrecv_exchange(self):
+        def prog(comm):
+            partner = comm.rank ^ 1
+            return comm.sendrecv(comm.rank * 10, partner, partner, 5)
+
+        res = run_spmd(2, prog)
+        assert res[0] == 10 and res[1] == 0
+
+
+class TestClockModel:
+    def test_single_message_costs_alpha_plus_beta(self):
+        model = NetworkModel(alpha=1e-3, beta=1e-6)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(1000, dtype=np.float32), dest=1)
+            else:
+                comm.recv(0)
+            return comm.clock
+
+        res = run_spmd(2, prog, model=model)
+        assert res[1] == pytest.approx(1e-3 + 1e-6 * 1000)
+
+    def test_ingress_serializes_concurrent_senders(self):
+        # Three senders to rank 0: first arrival at alpha + beta*L, each
+        # further message queues behind on rank 0's ingress link.
+        model = NetworkModel(alpha=1e-3, beta=1e-6)
+        L = 1000
+
+        def prog(comm):
+            if comm.rank == 0:
+                reqs = [comm.irecv(source=s) for s in (1, 2, 3)]
+                comm.waitall(reqs)
+                return comm.clock
+            comm.send(np.zeros(L, dtype=np.float32), dest=0)
+            return None
+
+        res = run_spmd(4, prog, model=model)
+        expected = 1e-3 + 3 * 1e-6 * L
+        assert res[0] == pytest.approx(expected)
+
+    def test_egress_serializes_one_sender(self):
+        model = NetworkModel(alpha=1e-3, beta=1e-6)
+        L = 500
+
+        def prog(comm):
+            if comm.rank == 0:
+                for dst in (1, 2):
+                    comm.send(np.zeros(L, dtype=np.float32), dest=dst)
+                return comm.clock
+            comm.recv(0)
+            return comm.clock
+
+        res = run_spmd(3, prog, model=model)
+        # Sender clock passes both serializations.
+        assert res[0] == pytest.approx(2 * 1e-6 * L)
+        # Second destination sees its message start tx after the first.
+        assert res[2] == pytest.approx(1e-6 * L + 1e-3 + 1e-6 * L)
+
+    def test_compute_advances_clock(self):
+        def prog(comm):
+            comm.compute(0.5)
+            return comm.clock
+
+        assert run_spmd(1, prog)[0] == pytest.approx(0.5)
+
+    def test_compute_rejects_negative(self):
+        def prog(comm):
+            comm.compute(-1.0)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(1, prog)
+
+    def test_phase_accounting(self):
+        def prog(comm):
+            with comm.phase("a"):
+                comm.compute(0.25)
+            with comm.phase("b"):
+                comm.compute(0.5)
+            with comm.phase("a"):
+                comm.compute(0.25)
+            return comm.phase_times()
+
+        times = run_spmd(1, prog)[0]
+        assert times["a"] == pytest.approx(0.5)
+        assert times["b"] == pytest.approx(0.5)
+
+    def test_determinism_across_runs(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            for it in range(5):
+                data = rng.normal(size=64).astype(np.float32)
+                dst = (comm.rank + 1 + it) % comm.size
+                src = (comm.rank - 1 - it) % comm.size
+                comm.sendrecv(data, dst, src, it)
+            return comm.clock
+
+        a = run_spmd(6, prog)
+        b = run_spmd(6, prog)
+        assert a.results == b.results
+        assert a.makespan == b.makespan
+
+
+class TestTrafficCounters:
+    def test_words_counted_per_rank(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.float32), dest=1)
+            else:
+                comm.recv(0)
+
+        res = run_spmd(2, prog)
+        stats = res.stats
+        assert stats.words_sent[0] == 100
+        assert stats.words_recv[1] == 100
+        assert stats.msgs_sent[0] == 1
+
+    def test_reset_stats(self):
+        net = Network(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10, dtype=np.float32), dest=1)
+            else:
+                comm.recv(0)
+
+        run_spmd(2, prog, network=net)
+        net.reset_stats()
+        assert net.stats().total_words == 0
+
+
+class TestFailures:
+    def test_rank_failure_raises_and_unblocks(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("boom")
+            comm.recv(0)  # would block forever without abort propagation
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(2, prog)
+        assert 0 in ei.value.failures
+        assert isinstance(ei.value.failures[0], ValueError)
+
+    def test_invalid_destination(self):
+        def prog(comm):
+            comm.send(1, dest=99)
+
+        with pytest.raises(RankFailedError):
+            run_spmd(2, prog)
+
+    def test_nranks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Network(0)

@@ -1,0 +1,136 @@
+"""Analytic cost model (Table 1) and its calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import NetworkModel
+from repro.costmodel import (
+    comm_cost,
+    dense_cost,
+    expected_union,
+    gtopk_cost,
+    iteration_seconds,
+    oktopk_cost,
+    sparsify_cost_seconds,
+    topka_cost,
+    topkdsa_cost,
+    validate_against_measurement,
+)
+
+N, K = 1 << 20, 10_000
+
+
+class TestCostFunctions:
+    def test_dense_bandwidth_approaches_2n(self):
+        assert dense_cost(N, 2).bandwidth_words == pytest.approx(N)
+        assert dense_cost(N, 1024).bandwidth_words == pytest.approx(
+            2 * N, rel=0.01)
+
+    def test_topka_linear_in_p(self):
+        c8 = topka_cost(N, 8, K).bandwidth_words
+        c16 = topka_cost(N, 16, K).bandwidth_words
+        assert c16 / c8 == pytest.approx(15 / 7)
+
+    def test_oktopk_bounded_by_6k(self):
+        for p in (2, 16, 256):
+            c = oktopk_cost(N, p, K).bandwidth_words
+            assert c <= 6 * K
+            assert c >= 2 * K * (p - 1) / p
+
+    def test_gtopk_log_growth(self):
+        c = gtopk_cost(N, 256, K)
+        assert c.bandwidth_words == pytest.approx(4 * K * 8)
+
+    def test_crossover_topka_vs_dense(self):
+        """TopkA beats dense at small P but loses once 2k(P-1) > 2n."""
+        p_cross = N // K + 1
+        assert (topka_cost(N, 4, K).bandwidth_words
+                < dense_cost(N, 4).bandwidth_words)
+        assert (topka_cost(N, 2 * p_cross, K).bandwidth_words
+                > dense_cost(N, 2 * p_cross).bandwidth_words)
+
+    def test_oktopk_always_beats_topka_beyond_3_ranks(self):
+        for p in (4, 8, 64, 256):
+            assert (oktopk_cost(N, p, K).bandwidth_words
+                    < topka_cost(N, p, K).bandwidth_words)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            comm_cost("nope", N, 8, K)
+
+
+class TestExpectedUnion:
+    def test_single_set(self):
+        assert expected_union(1000, 100, 1) == pytest.approx(100)
+
+    def test_saturates_at_n(self):
+        assert expected_union(1000, 500, 50) <= 1000
+
+    @given(st.integers(10, 10_000), st.integers(1, 100),
+           st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_m(self, n, k, m):
+        k = min(k, n)
+        assert (expected_union(n, k, m + 1)
+                >= expected_union(n, k, m) - 1e-9)
+
+    def test_dsa_interval(self):
+        """DSA cost sits between its 4k best case and the dense switch."""
+        best = topkdsa_cost(N, 8, K, overlap=1.0).bandwidth_words
+        worst = topkdsa_cost(N, 8, K, overlap=0.0).bandwidth_words
+        assert best <= worst
+        assert best >= 2 * K  # at least ship the data once
+        assert worst <= (2 * K + N)  # the paper's upper interval end
+
+
+class TestSparsifyCosts:
+    def test_dense_free(self):
+        m = NetworkModel()
+        assert sparsify_cost_seconds("dense", N, K, 8, m) == 0.0
+
+    def test_oktopk_amortizes_with_tau_prime(self):
+        m = NetworkModel()
+        c1 = sparsify_cost_seconds("oktopk", N, K, 8, m, tau_prime=1)
+        c64 = sparsify_cost_seconds("oktopk", N, K, 8, m, tau_prime=64)
+        assert c64 < c1
+
+    def test_oktopk_cheaper_than_topka(self):
+        m = NetworkModel()
+        assert (sparsify_cost_seconds("oktopk", N, K, 8, m, tau_prime=32)
+                < sparsify_cost_seconds("topka", N, K, 8, m))
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            sparsify_cost_seconds("nope", N, K, 8, NetworkModel())
+
+
+class TestIterationSeconds:
+    def test_breakdown_keys_and_total(self):
+        b = iteration_seconds("oktopk", N, 8, K, NetworkModel(),
+                              compute_seconds=0.1)
+        assert set(b) == {"sparsification", "communication",
+                         "computation+io", "total"}
+        assert b["total"] == pytest.approx(
+            b["sparsification"] + b["communication"] + b["computation+io"])
+
+    def test_dense_ovlp_overlap_credit(self):
+        m = NetworkModel()
+        big_compute = 100.0
+        b = iteration_seconds("dense_ovlp", N, 8, K, m,
+                              compute_seconds=big_compute)
+        assert b["communication"] == 0.0  # fully hidden
+        plain = iteration_seconds("dense", N, 8, K, m,
+                                  compute_seconds=big_compute)
+        assert plain["communication"] > 0
+
+
+class TestCalibration:
+    def test_measured_tracks_model_for_dense(self):
+        cal = validate_against_measurement("dense", n=2048, p=4, k=32)
+        assert cal.ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_result_fields(self):
+        cal = validate_against_measurement("topka", n=1024, p=4, k=16)
+        assert cal.scheme == "topka"
+        assert cal.predicted_words == 2 * 16 * 3

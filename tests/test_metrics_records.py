@@ -1,0 +1,143 @@
+"""Metrics (WER, accuracy) and run records."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.train import (
+    IterationRecord,
+    RunRecord,
+    collapse_repeats,
+    edit_distance,
+    top1_accuracy,
+    word_error_rate,
+)
+
+
+class TestTop1Accuracy:
+    def test_perfect(self):
+        logits = np.eye(4)
+        assert top1_accuracy(logits, np.arange(4)) == 1.0
+
+    def test_chance(self):
+        logits = np.zeros((4, 2))
+        logits[:, 0] = 1.0
+        assert top1_accuracy(logits, np.array([0, 0, 1, 1])) == 0.5
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(3), np.zeros(3))
+
+
+class TestEditDistance:
+    def test_known_cases(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+        assert edit_distance([1, 2, 3], [1, 3]) == 1       # deletion
+        assert edit_distance([1, 3], [1, 2, 3]) == 1       # insertion
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1    # substitution
+        assert edit_distance([], [1, 2]) == 2
+        assert edit_distance([1, 2], []) == 2
+
+    @given(st.lists(st.integers(0, 5), max_size=12),
+           st.lists(st.integers(0, 5), max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_metric_properties(self, a, b):
+        d = edit_distance(a, b)
+        assert d == edit_distance(b, a)                  # symmetry
+        assert (d == 0) == (a == b)                      # identity
+        assert d <= max(len(a), len(b))                  # upper bound
+        assert d >= abs(len(a) - len(b))                 # lower bound
+
+    @given(st.lists(st.integers(0, 3), max_size=8),
+           st.lists(st.integers(0, 3), max_size=8),
+           st.lists(st.integers(0, 3), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert (edit_distance(a, c)
+                <= edit_distance(a, b) + edit_distance(b, c))
+
+
+class TestWER:
+    def test_exact_match_zero(self):
+        assert word_error_rate([[1, 2]], [[1, 2]]) == 0.0
+
+    def test_simple_rate(self):
+        assert word_error_rate([[1, 9, 3]], [[1, 2, 3]]) == pytest.approx(1 / 3)
+
+    def test_corpus_level_weighting(self):
+        wer = word_error_rate([[1], [1, 2, 3, 9]], [[2], [1, 2, 3, 4]])
+        assert wer == pytest.approx(2 / 5)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            word_error_rate([[1]], [[1], [2]])
+
+    def test_collapse_repeats(self):
+        assert collapse_repeats([1, 1, 2, 2, 2, 1]) == [1, 2, 1]
+        assert collapse_repeats([]) == []
+
+
+def _rec(t, loss, it_time=0.1, **kw):
+    return IterationRecord(t=t, loss=loss, lr=0.1, compute_time=0.05,
+                           sparsify_time=0.01, comm_time=0.04,
+                           iteration_time=it_time, **kw)
+
+
+class TestRunRecord:
+    def test_cumulative_times(self):
+        rr = RunRecord("oktopk", 4)
+        for t in range(1, 4):
+            rr.append(_rec(t, 1.0 / t))
+        np.testing.assert_allclose(rr.times, [0.1, 0.2, 0.3])
+        assert rr.total_time == pytest.approx(0.3)
+
+    def test_mean_breakdown_sums_to_total(self):
+        rr = RunRecord("oktopk", 4)
+        for t in range(1, 5):
+            rr.append(_rec(t, 1.0))
+        bd = rr.mean_breakdown()
+        assert bd["total"] == pytest.approx(
+            bd["sparsification"] + bd["communication"]
+            + bd["computation+io"])
+
+    def test_breakdown_skip(self):
+        rr = RunRecord("x", 1)
+        rr.append(_rec(1, 1.0, it_time=100.0))
+        rr.append(_rec(2, 1.0, it_time=0.1))
+        assert rr.mean_breakdown(skip=1)["total"] == pytest.approx(0.1)
+
+    def test_eval_curve_and_final(self):
+        rr = RunRecord("x", 1)
+        rr.append(_rec(1, 1.0))
+        rr.append(_rec(2, 0.9, eval_metrics={"acc": 0.5}))
+        rr.append(_rec(3, 0.8, eval_metrics={"acc": 0.7}))
+        assert rr.final_eval() == {"acc": 0.7}
+        curve = rr.eval_curve("acc")
+        assert curve == [(pytest.approx(0.2), 0.5),
+                         (pytest.approx(0.3), 0.7)]
+
+    def test_final_eval_none_when_never_evaluated(self):
+        rr = RunRecord("x", 1)
+        rr.append(_rec(1, 1.0))
+        assert rr.final_eval() is None
+
+    def test_to_dict_json_serializable(self):
+        rr = RunRecord("oktopk", 2)
+        rr.append(_rec(1, 1.5, xi=0.3, selected=10))
+        payload = json.dumps(rr.to_dict())
+        back = json.loads(payload)
+        assert back["scheme"] == "oktopk"
+        assert back["records"][0]["xi"] == 0.3
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        rr = RunRecord("oktopk", 2)
+        rr.append(_rec(1, 1.5, selected=10, xi=0.3))
+        rr.append(_rec(2, 1.2))
+        path = tmp_path / "curve.csv"
+        rr.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert lines[0].startswith("t,cum_time,loss")
+        assert "1.5" in lines[1]

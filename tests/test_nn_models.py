@@ -1,0 +1,140 @@
+"""Model-level tests, including the Table 2 parameter counts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FlatModel, SoftmaxCrossEntropy
+from repro.nn.models import (
+    AN4_FULL_HIDDEN,
+    BertConfig,
+    MiniBertLM,
+    PAPER_BERT_PARAMS,
+    PAPER_LSTM_PARAMS,
+    PAPER_VGG16_PARAMS,
+    bert_base_param_count,
+    build_vgg16,
+    lstm_speech_param_count,
+    make_bert_model,
+    make_lstm_speech_model,
+    make_vgg16_model,
+    minibert_param_count,
+    vgg16_param_count,
+)
+
+
+class TestTable2ParameterCounts:
+    def test_vgg16_full_width_matches_paper_exactly(self):
+        assert vgg16_param_count(1.0) == PAPER_VGG16_PARAMS == 14_728_266
+
+    def test_vgg16_analytic_matches_built_model(self):
+        for wm in (0.1, 0.25):
+            model = build_vgg16(width_mult=wm)
+            assert model.param_count() == vgg16_param_count(wm)
+
+    def test_bert_base_matches_paper_exactly(self):
+        assert bert_base_param_count() == PAPER_BERT_PARAMS == 133_547_324
+
+    def test_lstm_full_within_promille_of_paper(self):
+        count = lstm_speech_param_count(hidden=AN4_FULL_HIDDEN)
+        assert abs(count - PAPER_LSTM_PARAMS) / PAPER_LSTM_PARAMS < 1e-3
+
+    def test_minibert_analytic_matches_built(self):
+        cfg = BertConfig.mini()
+        model = MiniBertLM(cfg)
+        assert model.param_count() == minibert_param_count(cfg)
+
+    def test_lstm_analytic_matches_built(self):
+        fm = make_lstm_speech_model(features=7, hidden=5, layers=2,
+                                    classes=3)
+        assert fm.nparams == lstm_speech_param_count(7, 5, 2, 3)
+
+
+class TestVGGForward:
+    def test_output_shape(self):
+        fm = make_vgg16_model(width_mult=0.1)
+        x = np.random.default_rng(0).normal(
+            size=(2, 3, 32, 32)).astype(np.float32)
+        assert fm.predict(x).shape == (2, 10)
+
+    def test_one_step_reduces_loss(self):
+        fm = make_vgg16_model(width_mult=0.1, seed=1)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 3, 32, 32)).astype(np.float32)
+        y = rng.integers(0, 10, size=8)
+        l0, g = fm.loss_and_grad(x, y)
+        fm.params_flat[...] -= 0.05 * g
+        l1, _ = fm.loss_and_grad(x, y)
+        assert l1 < l0
+
+
+class TestLSTMSpeechForward:
+    def test_output_shape(self):
+        fm = make_lstm_speech_model(features=8, hidden=6, layers=1,
+                                    classes=4)
+        x = np.random.default_rng(2).normal(
+            size=(3, 5, 8)).astype(np.float32)
+        assert fm.predict(x).shape == (3, 5, 4)
+
+    def test_training_step_reduces_loss(self):
+        fm = make_lstm_speech_model(features=8, hidden=16, layers=1,
+                                    classes=4, seed=3)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 6, 8)).astype(np.float32)
+        y = rng.integers(0, 4, size=(4, 6))
+        l0, g = fm.loss_and_grad(x, y)
+        fm.params_flat[...] -= 0.5 * g
+        l1, _ = fm.loss_and_grad(x, y)
+        assert l1 < l0
+
+
+class TestMiniBert:
+    def test_output_shape(self):
+        cfg = BertConfig.mini()
+        fm = make_bert_model(cfg)
+        ids = np.random.default_rng(4).integers(0, cfg.vocab, size=(2, 16))
+        assert fm.predict(ids).shape == (2, 16, cfg.vocab)
+
+    def test_rejects_too_long_sequence(self):
+        cfg = BertConfig(vocab=50, hidden=8, layers=1, heads=2,
+                         intermediate=16, max_seq=4)
+        fm = make_bert_model(cfg)
+        with pytest.raises(ValueError):
+            fm.predict(np.zeros((1, 8), dtype=np.int64))
+
+    def test_mlm_step_reduces_loss(self):
+        cfg = BertConfig(vocab=50, hidden=16, layers=1, heads=2,
+                         intermediate=32, max_seq=16)
+        fm = make_bert_model(cfg, seed=5)
+        rng = np.random.default_rng(5)
+        ids = rng.integers(0, 50, size=(4, 12))
+        targets = np.full_like(ids, -100)
+        targets[:, ::3] = ids[:, ::3]
+        l0, g = fm.loss_and_grad(ids, targets)
+        fm.params_flat[...] -= 0.5 * g
+        l1, _ = fm.loss_and_grad(ids, targets)
+        assert l1 < l0
+
+
+class TestFlatModel:
+    def test_flat_view_is_live(self):
+        fm = make_lstm_speech_model(features=4, hidden=4, layers=1,
+                                    classes=3)
+        layer_w = fm.module.stack.layers[0].W
+        fm.params_flat[...] = 0.0
+        assert np.all(layer_w.data == 0.0)
+        layer_w.data[...] = 1.0
+        assert fm.params_flat[:layer_w.size].max() == 1.0
+
+    def test_grad_flat_collects_all_layers(self):
+        fm = make_lstm_speech_model(features=4, hidden=4, layers=1,
+                                    classes=3)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3, 4)).astype(np.float32)
+        y = rng.integers(0, 3, size=(2, 3))
+        _, g = fm.loss_and_grad(x, y)
+        assert g.shape == (fm.nparams,)
+        assert np.count_nonzero(g) > 0.5 * g.size
+
+    def test_train_flops_scales_with_batch(self):
+        fm = make_vgg16_model(width_mult=0.1)
+        assert fm.train_flops(4) == 2 * fm.train_flops(2) > 0

@@ -1,0 +1,86 @@
+"""Gradient-space partitioning: equal vs balanced boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.sparse import (
+    balanced_boundaries_local,
+    equal_boundaries,
+    imbalance,
+    region_counts,
+    region_of,
+    sanitize_boundaries,
+    validate_boundaries,
+)
+
+
+class TestEqualBoundaries:
+    def test_partitions_whole_range(self):
+        b = equal_boundaries(100, 4)
+        np.testing.assert_array_equal(b, [0, 25, 50, 75, 100])
+
+    def test_uneven(self):
+        b = equal_boundaries(10, 3)
+        assert b[0] == 0 and b[-1] == 10
+        assert np.all(np.diff(b) >= 3)
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            equal_boundaries(10, 0)
+
+
+class TestBalancedBoundaries:
+    def test_balances_clustered_indices(self):
+        """All top-k indices in the first 10% of the space: the equal split
+        puts them all in region 0; the balanced split spreads them."""
+        n, p = 1000, 4
+        idx = np.arange(0, 100)  # clustered
+        eq = equal_boundaries(n, p)
+        assert imbalance(eq, idx) == pytest.approx(p)  # worst case
+        bal = sanitize_boundaries(balanced_boundaries_local(idx, n, p), n)
+        assert imbalance(bal, idx) < 1.2
+
+    def test_uniform_indices_stay_roughly_equal(self):
+        n, p = 1000, 4
+        rng = np.random.default_rng(0)
+        idx = np.sort(rng.choice(n, size=200, replace=False))
+        bal = sanitize_boundaries(balanced_boundaries_local(idx, n, p), n)
+        counts = region_counts(bal, idx)
+        assert counts.max() - counts.min() <= 0.2 * counts.mean() + 2
+
+    def test_empty_selection_degenerates_to_equal(self):
+        b = balanced_boundaries_local(np.empty(0, np.int32), 100, 4)
+        np.testing.assert_allclose(b, [0, 25, 50, 75, 100])
+
+    def test_consensus_averaging_of_two_proposals(self):
+        n, p = 100, 2
+        a = balanced_boundaries_local(np.arange(0, 20), n, p)
+        b = balanced_boundaries_local(np.arange(80, 100), n, p)
+        avg = sanitize_boundaries((a + b) / 2, n)
+        validate_boundaries(avg, n)
+        # midpoint should sit between the two clusters
+        assert 10 <= avg[1] <= 90
+
+
+class TestSanitize:
+    def test_forces_monotonic_and_range(self):
+        out = sanitize_boundaries(np.array([5.0, 3.0, 200.0]), 100)
+        validate_boundaries(out, 100)
+        assert out[0] == 0 and out[-1] == 100
+
+    def test_region_of_assignment(self):
+        b = np.array([0, 10, 20, 30])
+        idx = np.array([0, 9, 10, 19, 20, 29])
+        np.testing.assert_array_equal(region_of(b, idx), [0, 0, 1, 1, 2, 2])
+
+    def test_validate_rejects_bad_span(self):
+        with pytest.raises(PartitionError):
+            validate_boundaries(np.array([0, 5, 9]), 10)
+
+    def test_validate_rejects_decreasing(self):
+        with pytest.raises(PartitionError):
+            validate_boundaries(np.array([0, 7, 5, 10]), 10)
+
+    def test_empty_region_allowed(self):
+        validate_boundaries(np.array([0, 0, 10]), 10)

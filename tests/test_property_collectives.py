@@ -1,0 +1,105 @@
+"""Property-based tests for the dense collectives over random P, shapes
+and payload sizes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import collectives as coll, run_spmd
+
+
+@st.composite
+def pn(draw):
+    p = draw(st.integers(1, 7))
+    n = draw(st.integers(1, 100))
+    seed = draw(st.integers(0, 1000))
+    return p, n, seed
+
+
+def _vec(rank, n, seed):
+    return np.random.default_rng(seed * 100 + rank).normal(
+        size=n).astype(np.float32)
+
+
+class TestAllreduceProperty:
+    @given(pn(), st.sampled_from(["ring", "recursive_doubling",
+                                  "rabenseifner"]))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_numpy_sum(self, cfg, algo):
+        p, n, seed = cfg
+
+        def prog(comm):
+            return coll.allreduce(comm, _vec(comm.rank, n, seed), algo=algo)
+
+        res = run_spmd(p, prog)
+        expect = np.sum([_vec(r, n, seed) for r in range(p)], axis=0)
+        for r in range(p):
+            np.testing.assert_allclose(res[r], expect, rtol=1e-3,
+                                       atol=1e-3)
+
+
+class TestAllgathervProperty:
+    @given(st.integers(1, 7), st.lists(st.integers(0, 20), min_size=7,
+                                       max_size=7),
+           st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_block_sizes(self, p, sizes, seed):
+        def prog(comm):
+            block = _vec(comm.rank, sizes[comm.rank] + 1, seed)
+            return coll.allgatherv(comm, block)
+
+        res = run_spmd(p, prog)
+        for r in range(p):
+            assert len(res[r]) == p
+            for owner in range(p):
+                np.testing.assert_array_equal(
+                    res[r][owner], _vec(owner, sizes[owner] + 1, seed))
+
+    @given(st.integers(2, 7), st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_receive_volume_total_minus_own(self, p, b):
+        def prog(comm):
+            before = int(comm.net.words_recv[comm.rank])
+            coll.allgatherv(comm, np.zeros(b, dtype=np.float32))
+            return int(comm.net.words_recv[comm.rank]) - before
+
+        res = run_spmd(p, prog)
+        for r in range(p):
+            assert res[r] >= (p - 1) * b
+            assert res[r] <= (p - 1) * b + 4 * p  # owner-id overhead
+
+
+class TestAlltoallvProperty:
+    @given(st.integers(1, 6), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_identity(self, p, seed):
+        """alltoallv twice with transposed indexing restores the data."""
+        rng = np.random.default_rng(seed)
+        payload = rng.integers(0, 100, size=(p, p))
+
+        def prog(comm):
+            blocks = [int(payload[comm.rank, j]) for j in range(p)]
+            got = coll.alltoallv(comm, blocks)
+            back = coll.alltoallv(comm, got)
+            return blocks, back
+
+        res = run_spmd(p, prog)
+        for r in range(p):
+            sent, back = res[r]
+            assert back == sent
+
+
+class TestBcastReduceDuality:
+    @given(pn())
+    @settings(max_examples=25, deadline=None)
+    def test_reduce_then_bcast_equals_allreduce(self, cfg):
+        p, n, seed = cfg
+
+        def prog(comm):
+            acc = coll.reduce(comm, _vec(comm.rank, n, seed), root=0)
+            return coll.bcast(comm, acc, root=0)
+
+        res = run_spmd(p, prog)
+        expect = np.sum([_vec(r, n, seed) for r in range(p)], axis=0)
+        for r in range(p):
+            np.testing.assert_allclose(res[r], expect, rtol=1e-3,
+                                       atol=1e-3)

@@ -1,0 +1,85 @@
+"""Property-based tests for the nn stack: shape algebra and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import LSTM, LayerNorm, Linear, MaxPool2d, ReLU, Sequential
+
+
+class TestShapeProperties:
+    @given(st.integers(1, 4), st.integers(1, 6), st.integers(1, 6),
+           st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_backward_shape_matches_input(self, b, din, dout, seed):
+        lin = Linear(din, dout, rng=np.random.default_rng(seed))
+        x = np.random.default_rng(seed + 1).normal(
+            size=(b, din)).astype(np.float32)
+        y = lin.forward(x)
+        assert y.shape == (b, dout)
+        dx = lin.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    @given(st.integers(1, 3), st.integers(1, 4), st.integers(1, 5),
+           st.integers(1, 4), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_lstm_output_shape(self, b, t, d, h, seed):
+        lstm = LSTM(d, h, rng=np.random.default_rng(seed))
+        x = np.random.default_rng(seed + 1).normal(
+            size=(b, t, d)).astype(np.float32)
+        y = lstm.forward(x)
+        assert y.shape == (b, t, h)
+        assert lstm.backward(np.ones_like(y)).shape == x.shape
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 4),
+           st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_maxpool_halves_dimensions(self, b, c, half, seed):
+        mp = MaxPool2d(2)
+        hw = 2 * half
+        x = np.random.default_rng(seed).normal(
+            size=(b, c, hw, hw)).astype(np.float32)
+        y = mp.forward(x)
+        assert y.shape == (b, c, half, half)
+        # pooled values are true window maxima
+        assert np.all(y <= x.max())
+
+
+class TestLayerInvariants:
+    @given(st.integers(2, 16), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_layernorm_output_statistics(self, d, seed):
+        ln = LayerNorm(d)
+        x = (np.random.default_rng(seed).normal(size=(3, d)) * 5 + 2
+             ).astype(np.float32)
+        y = ln.forward(x)
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-4)
+        if d > 2:
+            np.testing.assert_allclose(y.std(axis=-1), 1.0, atol=0.05)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_relu_gradient_masks_match(self, seed):
+        r = ReLU()
+        x = np.random.default_rng(seed).normal(size=(4, 8)).astype(
+            np.float32)
+        y = r.forward(x)
+        dy = np.ones_like(y)
+        dx = r.backward(dy)
+        np.testing.assert_array_equal(dx != 0, y > 0)
+
+    @given(st.integers(1, 4), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_sequential_backward_is_reverse_composition(self, depth, seed):
+        layers = []
+        d = 6
+        rng = np.random.default_rng(seed)
+        for _ in range(depth):
+            layers.extend([Linear(d, d, rng=rng), ReLU()])
+        net = Sequential(*layers)
+        x = rng.normal(size=(2, d)).astype(np.float32)
+        y = net.forward(x)
+        dx = net.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+        # gradients accumulated in every parameterized layer
+        assert all(np.any(p.grad != 0) or np.all(p.data == 0)
+                   for lin in layers[::2] for p in [lin.W])

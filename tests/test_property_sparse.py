@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the sparse primitives."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import (
+    COOVector,
+    combine_sum,
+    exact_topk,
+    kth_largest_abs,
+    sanitize_boundaries,
+    threshold_select,
+    topk_indices,
+    validate_boundaries,
+)
+
+floats32 = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False,
+                     allow_infinity=False, width=32)
+
+
+def dense_vectors(min_size=1, max_size=200):
+    return hnp.arrays(np.float32, st.integers(min_size, max_size),
+                      elements=floats32)
+
+
+def coo_vectors(n=64, max_nnz=32):
+    @st.composite
+    def _build(draw):
+        nnz = draw(st.integers(0, min(max_nnz, n)))
+        idx = draw(st.permutations(range(n)))[:nnz]
+        vals = draw(st.lists(floats32, min_size=nnz, max_size=nnz))
+        return COOVector.from_arrays(
+            n, np.array(sorted(idx), dtype=np.int32),
+            np.array([v for _, v in sorted(zip(idx, vals))],
+                     dtype=np.float32), sort=False)
+    return _build()
+
+
+class TestTopkProperties:
+    @given(dense_vectors(), st.integers(1, 250))
+    @settings(max_examples=60, deadline=None)
+    def test_topk_size_and_threshold(self, x, k):
+        idx = topk_indices(x, k)
+        assert idx.size == min(k, x.size)
+        assert np.all(np.diff(idx) > 0)
+        if 0 < k <= x.size:
+            th = kth_largest_abs(x, k)
+            # all selected are >= threshold, all excluded are <= threshold
+            mag = np.abs(x)
+            assert np.all(mag[idx] >= th)
+            excluded = np.setdiff1d(np.arange(x.size), idx)
+            if excluded.size:
+                assert np.all(mag[excluded] <= th)
+
+    @given(dense_vectors(), st.integers(1, 250))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_idempotent(self, x, k):
+        v = exact_topk(x, k)
+        assert v.topk(k) == v
+
+    @given(dense_vectors(min_size=2), st.integers(1, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_captures_max_mass(self, x, k):
+        """No k-subset has more L1 mass than the top-k selection."""
+        v = exact_topk(x, k)
+        rng = np.random.default_rng(0)
+        kk = min(k, x.size)
+        mass = np.abs(v.values).astype(np.float64).sum()
+        for _ in range(5):
+            other = rng.choice(x.size, size=kk, replace=False)
+            other_mass = np.abs(x[other]).astype(np.float64).sum()
+            assert mass >= other_mass - 1e-3 - 1e-6 * abs(other_mass)
+
+    @given(dense_vectors(), st.floats(0, 1e4, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_threshold_select_is_filter(self, x, th):
+        v = threshold_select(x, th)
+        mask = np.abs(x) >= th
+        assert v.nnz == int(mask.sum())
+        np.testing.assert_array_equal(np.flatnonzero(mask), v.indices)
+
+
+class TestCOOAlgebra:
+    @given(coo_vectors(), coo_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_combine_commutative(self, a, b):
+        ab = a.combine(b).to_dense()
+        ba = b.combine(a).to_dense()
+        np.testing.assert_allclose(ab, ba, rtol=1e-5, atol=1e-3)
+
+    @given(coo_vectors(), coo_vectors(), coo_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_combine_associative(self, a, b, c):
+        left = a.combine(b).combine(c).to_dense().astype(np.float64)
+        right = a.combine(b.combine(c)).to_dense().astype(np.float64)
+        np.testing.assert_allclose(left, right, rtol=1e-4, atol=1e-2)
+
+    @given(coo_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_combine_with_empty_is_identity(self, a):
+        out = a.combine(COOVector.empty(a.n))
+        assert out == a or np.allclose(out.to_dense(), a.to_dense())
+
+    @given(coo_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_dense_roundtrip(self, a):
+        dense = a.to_dense()
+        back = COOVector.from_dense(dense, np.flatnonzero(dense))
+        np.testing.assert_array_equal(back.to_dense(), dense)
+
+    @given(coo_vectors(), st.integers(0, 64), st.integers(0, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_restrict_range(self, a, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        r = a.restrict(lo, hi)
+        assert np.all((r.indices >= lo) & (r.indices < hi))
+        inside = (a.indices >= lo) & (a.indices < hi)
+        assert r.nnz == int(inside.sum())
+
+    @given(coo_vectors(), st.lists(st.integers(0, 64), min_size=1,
+                                   max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_split_partitions_support(self, a, cuts):
+        bounds = np.array([0] + sorted(cuts) + [a.n], dtype=np.int64)
+        parts = a.split(bounds)
+        assert len(parts) == len(bounds) - 1
+        assert sum(p.nnz for p in parts) == a.nnz
+        merged = combine_sum(parts) if parts else a
+        np.testing.assert_allclose(merged.to_dense(), a.to_dense())
+
+
+class TestBoundaryProperties:
+    @given(hnp.arrays(np.float64, st.integers(2, 10),
+                      elements=st.floats(-100, 300, allow_nan=False)),
+           st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_sanitize_always_valid(self, raw, n):
+        out = sanitize_boundaries(raw, n)
+        validate_boundaries(out, n)

@@ -1,0 +1,64 @@
+"""ξ measurement (Assumption 1) and its non-perturbing instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import run_spmd
+from repro.train import measure_xi, xi_value
+
+
+class TestXiValue:
+    def test_identical_workers_give_zero(self):
+        rng = np.random.default_rng(0)
+        acc = rng.normal(size=100).astype(np.float32)
+        xi = xi_value([acc, acc.copy()], [acc, acc.copy()], k=10)
+        assert xi == pytest.approx(0.0, abs=1e-6)
+
+    def test_truncated_common_mass_gives_positive_xi(self):
+        """An index that both workers individually truncate (idx 1) can top
+        the true mean: the applied update then differs -> xi > 0."""
+        n = 20
+        a = np.zeros(n, dtype=np.float32)
+        b = np.zeros(n, dtype=np.float32)
+        a[0], a[1] = 1.0, 0.9
+        b[2], b[1] = 1.0, 0.9
+        xi = xi_value([a, b], [a, b], k=1)
+        assert xi > 0
+
+    def test_zero_gradient_zero_gap(self):
+        z = np.zeros(10, dtype=np.float32)
+        assert xi_value([z, z], [z, z], k=2) == 0.0
+
+    def test_scale_invariance_of_ratio(self):
+        rng = np.random.default_rng(3)
+        accs = [rng.normal(size=50).astype(np.float32) for _ in range(3)]
+        x1 = xi_value(accs, accs, k=5)
+        scaled = [10 * a for a in accs]
+        x2 = xi_value(scaled, scaled, k=5)
+        assert x1 == pytest.approx(x2, rel=1e-4)
+
+
+class TestMeasureXi:
+    def test_collective_agreement(self):
+        def prog(comm):
+            rng = np.random.default_rng(comm.rank)
+            acc = rng.normal(size=64).astype(np.float32)
+            return measure_xi(comm, acc, acc, k=8)
+
+        res = run_spmd(4, prog)
+        assert all(r == res[0] for r in res.results)
+        assert res[0] >= 0
+
+    def test_measurement_does_not_perturb_stats(self):
+        """The gathers for ξ must not change volume counters or clocks
+        (beyond the surrounding barriers)."""
+        def prog(comm, with_xi):
+            rng = np.random.default_rng(comm.rank)
+            acc = rng.normal(size=256).astype(np.float32)
+            if with_xi:
+                measure_xi(comm, acc, acc, k=8)
+            return int(comm.net.words_recv[comm.rank])
+
+        plain = run_spmd(4, prog, False)
+        with_xi = run_spmd(4, prog, True)
+        assert list(with_xi.results) == list(plain.results)

@@ -1,0 +1,69 @@
+"""Shared numerical gradient checking for the nn layers."""
+
+import numpy as np
+
+from repro.nn import FlatModel, Loss, Module
+
+
+class SumLoss(Loss):
+    """loss = sum(out * w) for a fixed random weighting w — exercises the
+    full Jacobian without softmax saturation."""
+
+    def __init__(self, shape, seed=0):
+        self.w = np.random.default_rng(seed).normal(
+            size=shape).astype(np.float32)
+
+    def forward_backward(self, out, y):
+        return float(np.sum(out * self.w)), self.w.copy()
+
+
+def gradcheck_model(module: Module, x: np.ndarray, *, n_checks: int = 12,
+                    eps: float = 1e-2, rtol: float = 5e-2,
+                    atol: float = 5e-3, seed: int = 0) -> None:
+    """Compare FlatModel analytic gradients with central differences on a
+    random subset of parameters (float32 tolerances)."""
+    out_shape = module.forward(x, training=True).shape
+    loss = SumLoss(out_shape, seed=seed)
+    fm = FlatModel(module, loss)
+    y = np.zeros(1)
+    _, grad = fm.loss_and_grad(x, y)
+    rng = np.random.default_rng(seed + 1)
+    idxs = rng.choice(fm.nparams, size=min(n_checks, fm.nparams),
+                      replace=False)
+    for i in idxs:
+        orig = fm.params_flat[i]
+        fm.params_flat[i] = orig + eps
+        lp, _ = fm.loss_and_grad(x, y)
+        fm.params_flat[i] = orig - eps
+        lm, _ = fm.loss_and_grad(x, y)
+        fm.params_flat[i] = orig
+        num = (lp - lm) / (2 * eps)
+        ana = grad[i]
+        assert abs(num - ana) <= atol + rtol * max(abs(num), abs(ana)), (
+            f"param {i}: numeric {num:.5f} vs analytic {ana:.5f}")
+
+
+def gradcheck_input(module: Module, x: np.ndarray, *, n_checks: int = 10,
+                    eps: float = 1e-2, rtol: float = 5e-2,
+                    atol: float = 5e-3, seed: int = 0) -> None:
+    """Check the input gradient (backward's return value)."""
+    out = module.forward(x, training=True)
+    loss = SumLoss(out.shape, seed=seed)
+    lval, dout = loss.forward_backward(out, None)
+    dx = module.backward(dout)
+    rng = np.random.default_rng(seed + 2)
+    flat = x.reshape(-1)
+    dflat = dx.reshape(-1)
+    idxs = rng.choice(flat.size, size=min(n_checks, flat.size),
+                      replace=False)
+    for i in idxs:
+        orig = flat[i]
+        flat[i] = orig + eps
+        lp = loss.forward_backward(module.forward(x, True), None)[0]
+        flat[i] = orig - eps
+        lm = loss.forward_backward(module.forward(x, True), None)[0]
+        flat[i] = orig
+        num = (lp - lm) / (2 * eps)
+        ana = dflat[i]
+        assert abs(num - ana) <= atol + rtol * max(abs(num), abs(ana)), (
+            f"input {i}: numeric {num:.5f} vs analytic {ana:.5f}")
