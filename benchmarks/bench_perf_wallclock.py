@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Wall-clock perf benchmark of the simulator itself (not simulated time).
+
+Seeds and extends the repo's perf trajectory: times ``train_scheme`` for
+{dense, gtopk, oktopk} at P in {4, 16} on the comm-dominated ``perf_mlp``
+probe, under both the cooperative (default) and the legacy threaded runner,
+plus a pure comm-layer message-storm microbenchmark at P in {16, 64}.
+Writes everything to ``BENCH_PERF.json`` (repo root) and prints a table.
+
+Measurement notes
+-----------------
+* CPU time (``time.process_time``), min over ``--reps``, to damp the noisy
+  shared-host scheduler; on this 1-CPU container CPU ~= wall.
+* The speedup columns compare the cooperative runner against the threaded
+  fallback *running the same optimized code*.  On a single-CPU host the
+  GIL already serializes the threaded runner into a de-facto cooperative
+  scheduler (its 0.2 s abort poll never fires because posts notify), so
+  the end-to-end gap here is modest (~1.1-1.5x) and grows with rank count
+  (the threaded runner degrades with P in the storm microbench while the
+  cooperative engine stays flat).  The engine's other wins — bit-exact
+  determinism, deadlock detection, zero-copy sends, a lock-free hot path —
+  do not show up in this table at all.
+
+Usage::
+
+    python benchmarks/bench_perf_wallclock.py [--quick] [--reps N] [--out F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import format_table, perf_proxy, train_scheme  # noqa: E402
+from repro.bench.harness import proxy_network  # noqa: E402
+from repro.comm import run_spmd  # noqa: E402
+from repro.sparse import COOVector  # noqa: E402
+
+SCHEMES = ("dense", "gtopk", "oktopk")
+RUNNERS = ("coop", "threads")
+
+
+def _min_time(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.process_time()
+        fn()
+        best = min(best, time.process_time() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# train_scheme timings
+# ---------------------------------------------------------------------------
+def time_train_scheme(p: int, scheme: str, runner: str, iters: int,
+                      reps: int) -> float:
+    proxy = perf_proxy()
+
+    def run():
+        os.environ["REPRO_SPMD_RUNNER"] = runner
+        try:
+            train_scheme(proxy, scheme, p, iters, density=0.02,
+                         network=proxy_network())
+        finally:
+            os.environ.pop("REPRO_SPMD_RUNNER", None)
+
+    run()  # warmup (imports, data caches)
+    return _min_time(run, reps)
+
+
+# ---------------------------------------------------------------------------
+# comm-layer microbenchmark: COO message storm (the oktopk exchange shape)
+# ---------------------------------------------------------------------------
+def _storm_prog(comm, iters):
+    p, r = comm.size, comm.rank
+    vec = COOVector.from_arrays(10_000, np.arange(50, dtype=np.int32),
+                                np.ones(50, dtype=np.float32))
+    for _ in range(iters):
+        reqs = []
+        for s in range(1, p):
+            reqs.append(comm.irecv((r - s) % p, 5))
+            reqs.append(comm.isend(vec, (r + s) % p, 5))
+        comm.waitall(reqs)
+    return comm.clock
+
+
+def time_storm(p: int, runner: str, iters: int, reps: int) -> dict:
+    def run():
+        run_spmd(p, _storm_prog, iters, runner=runner)
+
+    run()
+    secs = _min_time(run, reps)
+    nmsg = p * (p - 1) * iters
+    return {"seconds": secs, "messages": nmsg,
+            "us_per_message": secs / nmsg * 1e6}
+
+
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="fewer iterations/reps (post-merge smoke mode)")
+    ap.add_argument("--reps", type=int, default=None)
+    ap.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_PERF.json")
+    args = ap.parse_args(argv)
+
+    reps = args.reps or (1 if args.quick else 3)
+    train_iters = 8 if args.quick else 30
+    storm_iters = {16: 20 if args.quick else 100, 64: 3 if args.quick else 12}
+
+    results: dict = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "commit": _git_head(),
+            "quick": args.quick,
+            "reps": reps,
+            "workload": {"proxy": "perf_mlp", "iterations": train_iters,
+                         "density": 0.02},
+        },
+        "train_scheme": {},
+        "comm_storm": {},
+        "speedups": {},
+    }
+
+    rows = []
+    for scheme in SCHEMES:
+        results["train_scheme"][scheme] = {}
+        for p in (4, 16):
+            entry = {}
+            for runner in RUNNERS:
+                entry[runner] = time_train_scheme(p, scheme, runner,
+                                                  train_iters, reps)
+            entry["speedup_coop_vs_threads"] = entry["threads"] / entry["coop"]
+            results["train_scheme"][scheme][str(p)] = entry
+            rows.append([scheme, p, f"{entry['coop']:.3f}",
+                         f"{entry['threads']:.3f}",
+                         f"{entry['speedup_coop_vs_threads']:.2f}x"])
+            key = f"{scheme}_p{p}_coop_vs_threads"
+            results["speedups"][key] = entry["speedup_coop_vs_threads"]
+
+    storm_rows = []
+    for p, iters in storm_iters.items():
+        entry = {r: time_storm(p, r, iters, reps) for r in RUNNERS}
+        entry["speedup_coop_vs_threads"] = (
+            entry["threads"]["seconds"] / entry["coop"]["seconds"])
+        results["comm_storm"][str(p)] = entry
+        storm_rows.append([p, f"{entry['coop']['us_per_message']:.1f}",
+                           f"{entry['threads']['us_per_message']:.1f}",
+                           f"{entry['speedup_coop_vs_threads']:.2f}x"])
+        results["speedups"][f"storm_p{p}_coop_vs_threads"] = (
+            entry["speedup_coop_vs_threads"])
+
+    print(format_table(
+        ["scheme", "P", "coop (s)", "threads (s)", "speedup"],
+        rows, title=f"train_scheme wall-clock ({train_iters} iters, "
+                    f"perf_mlp probe, min of {reps})"))
+    print()
+    print(format_table(
+        ["P", "coop (us/msg)", "threads (us/msg)", "speedup"],
+        storm_rows, title="comm-layer message storm (COO payloads)"))
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def _git_head() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10).stdout.strip()
+    except Exception:  # pragma: no cover - git may be absent
+        return "unknown"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Run the benchmark suite.
+
+* default: every ``bench_*.py`` pytest benchmark (the paper-figure
+  reproductions) followed by the wall-clock perf benchmark;
+* ``--quick``: a post-merge smoke check — the fast non-slow unit tests plus
+  ``bench_perf_wallclock.py --quick`` (a couple of minutes total).
+
+Usage::
+
+    python benchmarks/run_all.py [--quick] [--skip-tests]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def _run(cmd: list[str], **kwargs) -> int:
+    print(f"$ {' '.join(cmd)}", flush=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    return subprocess.run(cmd, cwd=REPO_ROOT, env=env, **kwargs).returncode
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="post-merge smoke: fast tests + quick perf run")
+    ap.add_argument("--skip-tests", action="store_true",
+                    help="benchmarks only, no pytest smoke")
+    args = ap.parse_args(argv)
+
+    rc = 0
+    if args.quick:
+        if not args.skip_tests:
+            rc |= _run([sys.executable, "-m", "pytest", "-q",
+                        "-m", "not slow", "tests"])
+        rc |= _run([sys.executable, str(BENCH_DIR / "bench_perf_wallclock.py"),
+                    "--quick"])
+        return rc
+
+    if not args.skip_tests:
+        rc |= _run([sys.executable, "-m", "pytest", "-q", "tests"])
+    bench_files = sorted(BENCH_DIR.glob("bench_fig*.py")) + \
+        sorted(BENCH_DIR.glob("bench_table*.py")) + \
+        sorted(BENCH_DIR.glob("bench_ablation*.py")) + \
+        sorted(BENCH_DIR.glob("bench_ext*.py"))
+    rc |= _run([sys.executable, "-m", "pytest", "-q", "-p",
+                "no:cacheprovider"] + [str(f) for f in bench_files])
+    rc |= _run([sys.executable, str(BENCH_DIR / "bench_perf_wallclock.py")])
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

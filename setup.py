@@ -1,1 +1,1 @@
-from setuptools import setup; setup()
+from setuptools import setup; setup(python_requires=">=3.10")

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..comm import SimComm, collectives as coll
-from ..sparse import combine_sum, exact_topk
+from ..sparse import combine_sum, exact_topk, intersect_sorted
 from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
 
 _TAG_REDUCE = (1 << 21) + 1
@@ -57,8 +57,7 @@ class GTopkAllreduce(GradientAllreduce):
             # Broadcast tree of the surviving global top-k.
             final = coll.bcast(comm, current, root=0)
 
-        contributed = np.intersect1d(local.indices, final.indices,
-                                     assume_unique=True)
+        contributed = intersect_sorted(local.indices, final.indices)
         return AllreduceResult(
             update=final,
             contributed_indices=contributed,

@@ -37,6 +37,7 @@ from ..sparse import (
     combine_sum,
     equal_boundaries,
     exact_topk,
+    intersect_sorted,
     kth_largest_abs,
     sanitize_boundaries,
     threshold_select,
@@ -161,25 +162,31 @@ class OkTopkAllreduce(GradientAllreduce):
         if p == 1:
             return reduced
         steps = make_steps(r, p, self.rotation)
-        prev: List[COOVector] = []
+        # Simulated time is charged per bucket (the overlap model of
+        # Figure 2c: the previous bucket's reduction hides behind the next
+        # bucket's transfers, and only needs the piece sizes).  The actual
+        # numpy reduction is batched into one combine_sum over all pieces —
+        # a single sort/reduceat pass instead of a fold per bucket.
+        pending: List[COOVector] = []
+        prev_words = 0
         for bucket in buckets(steps, self.bucket_size):
             reqs = []
-            recv_count = 0
             for step in bucket:
                 for src in step.recv_from:
                     reqs.append(comm.irecv(src, _TAG_SR))
-                    recv_count += 1
                 for dst in step.send_to:
                     reqs.append(comm.isend(pieces[dst], dst, _TAG_SR))
             # Overlap: reduce the previous bucket while this one flies.
-            if prev:
-                reduced = combine_sum([reduced, *prev])
-                comm.compute_words(2 * sum(v.nnz for v in prev))
+            if prev_words:
+                comm.compute_words(2 * prev_words)
             got = comm.waitall(reqs)
-            prev = [g for g in got if isinstance(g, COOVector)]
-        if prev:
-            reduced = combine_sum([reduced, *prev])
-            comm.compute_words(2 * sum(v.nnz for v in prev))
+            arrived = [g for g in got if isinstance(g, COOVector)]
+            pending.extend(arrived)
+            prev_words = sum(v.nnz for v in arrived)
+        if prev_words:
+            comm.compute_words(2 * prev_words)
+        if pending:
+            reduced = combine_sum([reduced, *pending])
         return reduced
 
     # ------------------------------------------------------------------
@@ -280,8 +287,7 @@ class OkTopkAllreduce(GradientAllreduce):
         with comm.phase(PHASE_COMM):                      # line 13
             u_t, balanced = self._balance_and_allgatherv(
                 comm, reduced, global_th)
-        indexes = np.intersect1d(local.indices, u_t.indices,     # line 14
-                                 assume_unique=True)
+        indexes = intersect_sorted(local.indices, u_t.indices)   # line 14
 
         return AllreduceResult(
             update=u_t,

@@ -17,6 +17,7 @@ the next bucket's transfers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 
@@ -28,23 +29,26 @@ class Step:
     recv_from: Tuple[int, ...]
 
 
-def rotated_steps(rank: int, p: int) -> List[Step]:
+@lru_cache(maxsize=4096)
+def rotated_steps(rank: int, p: int) -> Tuple[Step, ...]:
     """Destination-rotation schedule: P-1 permutation steps."""
-    return [Step(send_to=((rank + s) % p,), recv_from=((rank - s) % p,))
-            for s in range(1, p)]
+    return tuple(Step(send_to=((rank + s) % p,), recv_from=((rank - s) % p,))
+                 for s in range(1, p))
 
 
-def naive_steps(rank: int, p: int) -> List[Step]:
+@lru_cache(maxsize=4096)
+def naive_steps(rank: int, p: int) -> Tuple[Step, ...]:
     """Hot-spot schedule: step ``s`` converges on worker ``s``."""
     steps = []
     for s in range(p):
         send = (s,) if s != rank else ()
         recv = tuple(r for r in range(p) if r != rank) if s == rank else ()
         steps.append(Step(send_to=send, recv_from=recv))
-    return steps
+    return tuple(steps)
 
 
-def make_steps(rank: int, p: int, rotation: bool) -> List[Step]:
+def make_steps(rank: int, p: int, rotation: bool) -> Tuple[Step, ...]:
+    """Cached per ``(rank, p)``: recomputed every iteration otherwise."""
     return rotated_steps(rank, p) if rotation else naive_steps(rank, p)
 
 

@@ -10,6 +10,7 @@ from .harness import (
     format_table,
     lstm_proxy,
     paper_scale_breakdown,
+    perf_proxy,
     train_scheme,
     vgg_proxy,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "vgg_proxy",
     "lstm_proxy",
     "bert_proxy",
+    "perf_proxy",
     "PROXIES",
     "train_scheme",
     "paper_scale_breakdown",

@@ -107,7 +107,40 @@ def bert_proxy(hidden: int = 32, layers: int = 2,
         global_batch=16, lr=2e-3, mode="adam", eval_builder=eval_builder)
 
 
-PROXIES = {"vgg16": vgg_proxy, "lstm": lstm_proxy, "bert": bert_proxy}
+def perf_proxy(hidden: int = 64, image_size: int = 16,
+               n_train: int = 64) -> ProxySpec:
+    """Comm-dominated probe for wall-clock perf tracking.
+
+    A deliberately tiny MLP (~50k params, microseconds of numpy compute per
+    iteration) so that `train_scheme` wall time is dominated by the
+    simulator's communication layer — the thing `bench_perf_wallclock.py`
+    tracks across PRs.  Not one of the paper's workloads.
+    """
+    from ..nn.activation import ReLU
+    from ..nn.linear import Linear
+    from ..nn.losses import SoftmaxCrossEntropy
+    from ..nn.module import FlatModel, Flatten, Sequential
+
+    feats = 3 * image_size * image_size
+
+    def make_model():
+        rng = np.random.default_rng(7)
+        mod = Sequential(Flatten(), Linear(feats, hidden, rng=rng), ReLU(),
+                         Linear(hidden, 10, rng=rng))
+        return FlatModel(mod, SoftmaxCrossEntropy(),
+                         flops_per_sample=2.0 * feats * hidden)
+
+    def make_splits():
+        return make_cifar_like(n_train, 16, image_size=image_size,
+                               noise=0.6, seed=0)
+
+    return ProxySpec(name="perf_mlp", make_model=make_model,
+                     make_splits=make_splits, global_batch=16, lr=0.05,
+                     mode="sgd")
+
+
+PROXIES = {"vgg16": vgg_proxy, "lstm": lstm_proxy, "bert": bert_proxy,
+           "perf_mlp": perf_proxy}
 
 
 # ---------------------------------------------------------------------------

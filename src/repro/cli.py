@@ -115,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro-bench",
         description="Ok-Topk reproduction experiment driver")
+    ap.add_argument(
+        "--runner", choices=["coop", "threads"], default=None,
+        help="SPMD runner: cooperative single-threaded engine (default) or "
+             "the legacy thread-per-rank fallback")
     sub = ap.add_subparsers(dest="command", required=True)
 
     vol = sub.add_parser("volume", help="measured vs analytic volume")
@@ -154,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.runner:
+        import os
+
+        from .comm import RUNNER_ENV
+        os.environ[RUNNER_ENV] = args.runner
     return args.fn(args)
 
 

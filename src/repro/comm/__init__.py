@@ -13,11 +13,18 @@ Quick tour::
     res[0]            # reduced vector on rank 0
     res.makespan      # simulated completion time in seconds
     res.stats         # per-rank traffic counters (words/messages)
+
+Execution model: programs run under the deterministic **cooperative**
+engine by default (single-threaded hot path, zero-copy sends, deadlock
+detection); pass ``runner="threads"`` (or set ``REPRO_SPMD_RUNNER``) for
+the legacy thread-per-rank runner.  Results, traffic counters and simulated
+makespans are identical under both — see :mod:`repro.comm.launcher`.
 """
 
 from . import collectives
 from .communicator import SimComm
-from .launcher import SpmdResult, run_spmd
+from .engine import CoopEngine
+from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
 from .message import RecvRequest, Request, SendRequest
 from .model import NetworkModel
 from .network import Network, TrafficStats
@@ -28,6 +35,9 @@ __all__ = [
     "SimComm",
     "SpmdResult",
     "run_spmd",
+    "resolve_runner",
+    "RUNNER_ENV",
+    "CoopEngine",
     "Request",
     "SendRequest",
     "RecvRequest",

@@ -20,11 +20,13 @@ respect to their inputs (arrays are never mutated).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from functools import lru_cache
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .communicator import SimComm
+from .payload import nwords as payload_nwords
 
 # Tag namespace for collectives; user point-to-point traffic should stay
 # below this so interleaved calls cannot mismatch.
@@ -46,10 +48,17 @@ def _is_pow2(p: int) -> bool:
     return p > 0 and (p & (p - 1)) == 0
 
 
-def _block_slices(n: int, p: int) -> List[slice]:
-    """Contiguous near-equal partition of ``range(n)`` into ``p`` blocks."""
+@lru_cache(maxsize=4096)
+def _block_slices(n: int, p: int) -> Tuple[slice, ...]:
+    """Contiguous near-equal partition of ``range(n)`` into ``p`` blocks.
+
+    Cached per ``(n, p)``: the ring/allgather collectives recompute the same
+    partition on every call of every rank of every iteration, so this sits
+    on the per-message hot path.
+    """
     bounds = np.linspace(0, n, p + 1).astype(np.int64)
-    return [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(p)]
+    return tuple(slice(int(bounds[i]), int(bounds[i + 1]))
+                 for i in range(p))
 
 
 # ---------------------------------------------------------------------------
@@ -325,13 +334,19 @@ def allgatherv(comm: SimComm, block: np.ndarray) -> List[np.ndarray]:
     """
     p, r = comm.size, comm.rank
     held: List[np.ndarray] = [block]  # held[j] = block of rank (r + j) % p
+    # Each block's wire size is computed once on arrival and carried along;
+    # re-sizing the forwarded prefix on every dissemination hop would walk
+    # the same payloads O(log P) times.
+    sizes: List[int] = [payload_nwords(block)]
     d = 1
     while d < p:
         count = min(d, p - len(held))
         dst = (r - d) % p
         src = (r + d) % p
-        got = comm.sendrecv(held[:count], dst, src, TAG_AGV)
+        got = comm.sendrecv(held[:count], dst, src, TAG_AGV,
+                            nwords=sum(sizes[:count]))
         held.extend(got)
+        sizes.extend(payload_nwords(b) for b in got)
         d <<= 1
     assert len(held) == p
     # held[j] is rank (r+j)%p's block; reorder to rank order.

@@ -5,31 +5,135 @@ Each SPMD rank owns one :class:`SimComm`.  Simulated time is tracked per rank
 model, and :meth:`compute` charges local computation.  Blocking semantics are
 *eager* (a send never blocks on the receiver), so algorithms written against
 this API cannot deadlock through send-send cycles.
+
+Payload ownership
+-----------------
+
+Under the **threaded** runner every mutable payload is deep-copied at post
+time, so both sides may do anything with their buffers.  Under the
+**cooperative** runner (the default) the send path avoids copies wherever
+that cannot change observable behaviour:
+
+* :class:`~repro.sparse.coo.COOVector` and other self-sizing immutable
+  objects (the sparse-scheme hot path) pass through untouched — fully
+  zero-copy (they already did under the threaded runner);
+* :meth:`sendrecv` is an audited **zero-copy** fast path with *no* loan
+  bookkeeping: payloads are read-only views.  Every collective in
+  :mod:`repro.comm.collectives` consumes received arrays before its next
+  blocking call and only ever writes sender regions whose in-flight
+  messages are already delivered; callers of ``sendrecv`` outside the
+  library must honour the same contract;
+* for :meth:`isend` the sender's buffer is *on loan* while the message is
+  in flight: it is write-locked, so mutating it mid-flight raises instead
+  of corrupting the receiver.  (The lock lives on the array object, so a
+  *pre-existing writable view* of the same buffer can still reach it —
+  numpy cannot enumerate aliases.  Don't write through such aliases before
+  ``wait()``; this is the one part of the contract that cannot be
+  enforced.)  The loan ends with exactly one snapshot —
+  at delivery (the receiver takes ownership of a private, read-only copy)
+  or at :meth:`SendRequest.wait`/``test`` for a still-undelivered message.
+  Either way, once ``wait`` returns the buffer is genuinely reusable (the
+  MPI contract) and nothing the sender does afterwards can reach what the
+  receiver holds;
+* blocking :meth:`send` keeps eager-buffered semantics (the buffer is
+  reusable the moment the call returns) and therefore snapshots at post.
+
+Received ``ndarray`` payloads are never writable in cooperative mode — a
+receiver that wants to mutate must ``copy()`` explicitly (enforced:
+in-place mutation raises ``ValueError``).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .message import Message, RecvRequest, Request, SendRequest
 from .network import Network
+from .payload import freeze as _freeze
 from .payload import nwords as payload_nwords
 
 
-def _freeze(obj: Any) -> Any:
-    """Snapshot mutable payloads so a sender mutating its buffer after a
-    send cannot corrupt the receiver (simulates a buffered/eager send)."""
+def _view(obj: Any) -> Any:
+    """Zero-copy payload: read-only views for arrays, pass-through for
+    everything else (containers are rebuilt around the views).
+
+    Objects exposing ``comm_nwords`` declare themselves immutable message
+    payloads (``COOVector``) and pass through untouched — the hot path of
+    every sparse scheme.
+    """
+    if obj is None or hasattr(obj, "comm_nwords"):
+        return obj
     if isinstance(obj, np.ndarray):
-        return obj.copy()
+        v = obj.view()
+        v.setflags(write=False)
+        return v
     if isinstance(obj, tuple):
-        return tuple(_freeze(v) for v in obj)
+        return tuple(_view(v) for v in obj)
     if isinstance(obj, list):
-        return [_freeze(v) for v in obj]
+        return [_view(v) for v in obj]
     if isinstance(obj, dict):
-        return {k: _freeze(v) for k, v in obj.items()}
+        return {k: _view(v) for k, v in obj.items()}
+    return obj
+
+
+def _view_with_loans(obj: Any, net: Network,
+                     loans: List[int]) -> Any:
+    """Like :func:`_view`, but write-locks loanable sender buffers.
+
+    Only arrays that own their (writable) data are loaned — the write lock
+    on a *view* object would not stop mutation through its base, so shared
+    views fall back to a snapshot.  Already-read-only arrays need no
+    protection at all, and neither do self-sizing immutable payloads
+    (``comm_nwords`` protocol, e.g. ``COOVector``).
+    """
+    if obj is None or hasattr(obj, "comm_nwords"):
+        return obj
+    if isinstance(obj, np.ndarray):
+        if not obj.flags.writeable:
+            # A buffer we already hold on loan for an earlier in-flight
+            # message joins the loan, so the write lock survives until the
+            # *last* message is delivered/sealed.
+            entry = net._loans.get(id(obj))
+            if entry is not None:
+                entry[1] += 1
+                loans.append(id(obj))
+                v = obj.view()  # stays read-only after the loan is returned
+                return v
+            # The read-only flag of a *view* says nothing about its buffer:
+            # walk to the owning array.  If that owner is on loan, this
+            # flight joins the loan (the owner becomes writable again when
+            # the last flight ends — the alias must stay protected until
+            # then).  If the owner is writable, snapshot.  Only when the
+            # owner itself is read-only (and not ours) is the buffer
+            # genuinely immutable.
+            base = obj.base
+            while base is not None and base.base is not None:
+                base = base.base
+            if base is None:
+                return obj
+            bentry = net._loans.get(id(base))
+            if bentry is not None:
+                bentry[1] += 1
+                loans.append(id(base))
+                return obj.view()
+            if base.flags.writeable:
+                return _freeze(obj, readonly=True)
+            return obj
+        if obj.base is not None:
+            return _freeze(obj, readonly=True)
+        loans.append(net.take_loan(obj))
+        v = obj.view()
+        v.setflags(write=False)
+        return v
+    if isinstance(obj, tuple):
+        return tuple(_view_with_loans(v, net, loans) for v in obj)
+    if isinstance(obj, list):
+        return [_view_with_loans(v, net, loans) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _view_with_loans(v, net, loans) for k, v in obj.items()}
     return obj
 
 
@@ -112,21 +216,33 @@ class SimComm:
     def send(self, obj: Any, dest: int, tag: int = 0, *,
              nwords: Optional[int] = None) -> None:
         """Blocking (eager) send; sender clock advances past egress
-        serialization of the message."""
+        serialization of the message.  The buffer is reusable on return."""
         size = payload_nwords(obj) if nwords is None else int(nwords)
-        _, done = self.net.post(self.rank, dest, tag, _freeze(obj), size,
+        payload = (_freeze(obj, readonly=True) if self.net.cooperative
+                   else _freeze(obj))
+        _, done = self.net.post(self.rank, dest, tag, payload, size,
                                 self.clock)
         self._advance_clock(done)
 
     def isend(self, obj: Any, dest: int, tag: int = 0, *,
               nwords: Optional[int] = None) -> SendRequest:
         """Non-blocking send; the egress slot is booked now (DMA-like) and
-        ``wait()`` advances the clock to when the buffer is reusable."""
+        ``wait()`` advances the clock to when the buffer is reusable.
+
+        Cooperative mode ships a zero-copy view and puts the buffer on loan
+        until delivery (see the module docstring)."""
         size = payload_nwords(obj) if nwords is None else int(nwords)
-        _, done = self.net.post(self.rank, dest, tag, _freeze(obj), size,
-                                self.clock)
+        loan_keys: List[int] = []
+        if self.net.cooperative:
+            payload = _view_with_loans(obj, self.net, loan_keys)
+        else:
+            payload = _freeze(obj)
+        msg, done = self.net.post(self.rank, dest, tag, payload, size,
+                                  self.clock)
+        if loan_keys:
+            msg.loans = tuple(loan_keys)
         self.compute(self.net.model.o_inject)
-        return SendRequest(self, done)
+        return SendRequest(self, done, _message=msg)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from ``(source, tag)``."""
@@ -141,12 +257,23 @@ class SimComm:
                  sendtag: int = 0, recvtag: Optional[int] = None, *,
                  nwords: Optional[int] = None) -> Any:
         """Simultaneous exchange; the common building block of the dense
-        collectives (recursive doubling/halving, ring steps)."""
+        collectives (recursive doubling/halving, ring steps).
+
+        Audited zero-copy fast path under the cooperative runner: the
+        outgoing payload is a plain read-only view with no loan bookkeeping.
+        Callers must not mutate the region they passed until the matching
+        receive on the peer has completed (all library collectives satisfy
+        this; see the module docstring).
+        """
         if recvtag is None:
             recvtag = sendtag
-        req = self.isend(obj, dest, sendtag, nwords=nwords)
+        size = payload_nwords(obj) if nwords is None else int(nwords)
+        payload = _view(obj) if self.net.cooperative else _freeze(obj)
+        _, done = self.net.post(self.rank, dest, sendtag, payload, size,
+                                self.clock)
+        self.compute(self.net.model.o_inject)
         out = self.recv(source, recvtag)
-        req.wait()
+        self._advance_clock(done)
         return out
 
     def waitall(self, requests: Sequence[Request]) -> List[Any]:
@@ -175,7 +302,7 @@ class SimComm:
                 results.append(None)
         return results
 
-    # internal hooks used by RecvRequest --------------------------------
+    # internal hooks used by RecvRequest/SendRequest ---------------------
     def _try_match(self, source: int, tag: int) -> Optional[Message]:
         return self.net.try_match(self.rank, source, tag)
 
@@ -185,6 +312,12 @@ class SimComm:
     def _deliver(self, msg: Message) -> None:
         t_done = self.net.deliver(msg)
         self._advance_clock(t_done)
+
+    def _seal(self, msg: Message) -> None:
+        """Snapshot a still-undelivered loaned payload so the sender's
+        buffer becomes reusable (called by ``SendRequest.wait``)."""
+        msg.payload = _freeze(msg.payload, readonly=True)
+        self.net.release_loans(msg)
 
     # ------------------------------------------------------------------
     # Convenience

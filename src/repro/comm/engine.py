@@ -1,0 +1,236 @@
+"""Deterministic cooperative SPMD engine (the default runner).
+
+The seed simulator ran one free-running OS thread per rank, serialized on a
+single network lock, and woke blocked receivers through condition variables
+with a 0.2 s poll — so every message paid for lock contention, GIL thrash
+and wake-up latency.  This engine replaces that with **cooperative
+scheduling**: rank programs still look like ordinary blocking MPI code, but
+control switches between ranks only at blocking points (an unmatched
+``recv``/``waitall``), driven by a single logical thread of control.
+
+Because ``greenlet``-style stackful coroutines are not available, each rank
+continuation is carried by a *parked* OS thread: the thread exists only to
+hold the rank's Python stack while it is suspended.  Execution is strictly
+serialized — exactly one rank (or the launcher) holds the *token* at any
+time, and hand-offs are direct (blocking rank → next runnable rank) with no
+scheduler bounce in between.  Consequences:
+
+* the network hot path is single-threaded: no locks, no condition
+  variables, no polling (see :mod:`repro.comm.network`);
+* immutable payloads and the audited ``sendrecv`` path travel zero-copy,
+  and ``isend`` buffers are protected by a write-lock loan ending in a
+  single snapshot — see :mod:`repro.comm.communicator`;
+* scheduling is deterministic: runnable ranks run in FIFO order, a rank
+  blocked on ``(source, tag)`` is made runnable exactly when a matching
+  message is posted, and simulated time is schedule-independent anyway
+  (links are booked in program order), so results, traffic counters and
+  makespans are bit-identical to the threaded runner;
+* a global deadlock (every live rank blocked on a receive that can never
+  match) is *detected* and reported as :class:`repro.errors.DeadlockError`
+  instead of hanging.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..errors import CommError, DeadlockError
+from .communicator import SimComm
+from .message import Message
+from .network import Network
+from .payload import freeze as _freeze
+
+
+class CoopEngine:
+    """One-shot cooperative scheduler for a single SPMD section."""
+
+    def __init__(self, net: Network, nranks: int):
+        self.net = net
+        self.nranks = nranks
+        # Parking slots: raw locks are the cheapest wait/wake primitive in
+        # CPython (a bare futex, ~3x cheaper than Event).  Each lock starts
+        # acquired; "wake" = release, "park" = acquire.  The engine's
+        # ready/waiting bookkeeping guarantees one wake per park, and a
+        # wake-before-park simply makes the park fall through, so no
+        # wakeups can be lost.
+        self._resume = [threading.Lock() for _ in range(nranks)]
+        for lock in self._resume:
+            lock.acquire()
+        self._main = threading.Lock()
+        self._main.acquire()
+        self._ready: deque[int] = deque()
+        #: rank -> (source, tag) it is blocked on
+        self._waiting: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    #
+
+    def run(self, fn: Callable[..., Any], args: tuple, kwargs: dict,
+            ) -> Tuple[List[Any], Dict[int, BaseException]]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank to completion.
+
+        Returns per-rank results and the failure map (same attribution
+        rules as the threaded runner: secondary ``CommError`` unwinds
+        caused by an abort are suppressed unless they are the origin).
+        """
+        results: List[Any] = [None] * self.nranks
+        failures: Dict[int, BaseException] = {}
+        net = self.net
+        if net._sched is not None:
+            raise RuntimeError("network already driven by another engine")
+        threads = [
+            threading.Thread(
+                target=self._rank_main,
+                args=(rank, fn, args, kwargs, results, failures),
+                daemon=True, name=f"coop-rank-{rank}")
+            for rank in range(self.nranks)
+        ]
+        net._sched = self
+        try:
+            for t in threads:
+                t.start()
+            # Hand the token to rank 0; ranks then pass it among themselves
+            # and the launcher regains control only when all are done.
+            self._ready.extend(range(self.nranks))
+            self._hand_off()
+            self._main.acquire()
+        finally:
+            net._sched = None
+            self._drain_loans()
+        for t in threads:
+            t.join()
+        return results, failures
+
+    def _drain_loans(self) -> None:
+        """End every outstanding loan when the SPMD section closes.
+
+        A message that was posted but never received (legal under eager
+        semantics) or orphaned by an abort would otherwise leave its
+        sender's buffer read-only forever.  Undelivered loaned payloads are
+        sealed first so a network reused for a later section still hands
+        receivers data from before the loan ended."""
+        net = self.net
+        for mailbox in net._queues:
+            for chan in mailbox.values():
+                for msg in chan:
+                    if msg.loans:
+                        msg.payload = _freeze(msg.payload, readonly=True)
+                        net.release_loans(msg)
+        # Entries whose messages are gone (popped but never delivered when
+        # an abort unwound the receiver): restore writability directly.
+        for key in list(net._loans):
+            arr, _count = net._loans.pop(key)
+            arr.setflags(write=True)
+
+    # ------------------------------------------------------------------
+    # Network-facing hooks (called while a rank thread holds the token)
+    # ------------------------------------------------------------------
+    def on_post(self, msg: Message) -> None:
+        """A message was appended to ``msg.dst``'s mailbox: make the
+        destination runnable if this is what it was blocked on."""
+        want = self._waiting.get(msg.dst)
+        if want is not None and msg.matches(*want):
+            del self._waiting[msg.dst]
+            self._ready.append(msg.dst)
+
+    def match_blocking(self, dst: int, source: int, tag: int) -> Message:
+        """Pop the earliest matching message for ``dst``, suspending the
+        rank until one is available."""
+        net = self.net
+        while True:
+            net._check_abort()
+            msg = net._pop_match(dst, source, tag)
+            if msg is not None:
+                return msg
+            self._waiting[dst] = (source, tag)
+            self._suspend(dst)
+
+    def try_match(self, dst: int, source: int, tag: int):
+        """Non-blocking probe.  On a miss, yield the token once (requeue
+        ``dst`` behind the currently runnable ranks) before answering, so
+        busy-poll loops (``while not req.test()``) cannot starve the very
+        rank that would post the matching message.
+
+        When no other rank is runnable the probe simply answers None —
+        never an abort: a miss is a legal answer, and a program may poll a
+        bounded number of times and then move on (and thereby unblock its
+        peers).  An *unbounded* poll of a receive that can never match
+        spins, exactly as it does under the threaded runner; deadlock
+        detection applies to blocked receives only, because only there can
+        the engine prove nobody can make progress."""
+        net = self.net
+        net._check_abort()
+        msg = net._pop_match(dst, source, tag)
+        if msg is not None or not self._ready:
+            return msg
+        self._ready.append(dst)
+        self._suspend(dst)
+        net._check_abort()
+        return net._pop_match(dst, source, tag)
+
+    # ------------------------------------------------------------------
+    # Token passing
+    # ------------------------------------------------------------------
+    def _suspend(self, rank: int) -> None:
+        """Give up the token and park until resumed."""
+        self._hand_off()
+        self._resume[rank].acquire()
+
+    def _hand_off(self) -> None:
+        """Pass the token to the next runnable rank.
+
+        If nobody is runnable but ranks are still blocked, this is either
+        the tail of an abort (wake one so it observes the abort and
+        unwinds, which chains to the rest) or a genuine deadlock (declare
+        it, then unwind the same way).  With no live ranks left, control
+        returns to the launcher.
+        """
+        if self._ready:
+            self._resume[self._ready.popleft()].release()
+            return
+        if self._waiting:
+            if not self.net.aborted:
+                blocked = {r: self._waiting[r] for r in sorted(self._waiting)}
+                self.net.abort(DeadlockError(
+                    f"all {len(blocked)} live rank(s) blocked on receives "
+                    f"that can never match: "
+                    + ", ".join(f"rank {r} waiting on (source={s}, tag={t})"
+                                for r, (s, t) in blocked.items())))
+            rank = min(self._waiting)
+            del self._waiting[rank]
+            self._resume[rank].release()
+            return
+        self._main.release()
+
+    # ------------------------------------------------------------------
+    # Per-rank thread body
+    # ------------------------------------------------------------------
+    def _rank_main(self, rank: int, fn: Callable[..., Any], args: tuple,
+                   kwargs: dict, results: List[Any],
+                   failures: Dict[int, BaseException]) -> None:
+        self._resume[rank].acquire()  # parked until first scheduled
+        net = self.net
+        comm = SimComm(net, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except CommError as exc:
+            # Secondary failure caused by another rank's abort: record only
+            # if we are the first (i.e. the genuine origin).
+            if not net.aborted or not failures:
+                failures[rank] = exc
+            net.abort(exc)
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            failures[rank] = exc
+            net.abort(exc)
+        finally:
+            try:
+                self._hand_off()
+            except BaseException:  # pragma: no cover - invariant violated
+                # Fail open: never leave the launcher parked forever.
+                try:
+                    self._main.release()
+                except RuntimeError:
+                    pass
+                raise

@@ -1,21 +1,57 @@
 """SPMD launcher: run one Python callable per simulated rank.
 
-Each rank runs in its own OS thread against a shared :class:`Network`.
-Simulated time is schedule-independent (links are booked in program order of
-the owning rank), so results and timings are deterministic even though the
-GIL interleaves threads arbitrarily.
+Two runners execute the same per-rank programs against the same shared
+:class:`Network`:
+
+* ``"coop"`` (default) — the deterministic cooperative engine
+  (:mod:`repro.comm.engine`): exactly one rank executes at a time, control
+  switches only at blocking points, the network hot path takes no locks and
+  payloads travel zero-copy.  Global deadlocks are detected and raised.
+* ``"threads"`` — the legacy runner: one free-running OS thread per rank,
+  serialized by the network lock, with deep-copied payloads.  Kept as a
+  compatibility fallback and as an independent implementation for
+  equivalence testing (``tests/test_runner_equivalence.py``).
+
+Simulated time is schedule-independent (links are booked in program order
+of the owning rank), so results, traffic counters and makespans are
+identical under both runners.  Pick a runner per call with ``runner=`` or
+globally with the ``REPRO_SPMD_RUNNER`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..errors import CommError, RankFailedError
 from .communicator import SimComm
+from .engine import CoopEngine
 from .model import NetworkModel
 from .network import Network, TrafficStats
+
+#: environment variable consulted when ``run_spmd`` is called without an
+#: explicit ``runner=``; accepts the same values as the argument.
+RUNNER_ENV = "REPRO_SPMD_RUNNER"
+
+_RUNNER_ALIASES = {
+    "coop": "coop",
+    "cooperative": "coop",
+    "threads": "threads",
+    "threaded": "threads",
+}
+
+
+def resolve_runner(runner: Optional[str] = None) -> str:
+    """Normalize a runner name (argument > ``REPRO_SPMD_RUNNER`` > coop)."""
+    name = runner or os.environ.get(RUNNER_ENV) or "coop"
+    try:
+        return _RUNNER_ALIASES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown SPMD runner {name!r}; expected one of "
+            f"{sorted(_RUNNER_ALIASES)}") from None
 
 
 @dataclass
@@ -45,6 +81,7 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
              network: Optional[Network] = None,
              model: Optional[NetworkModel] = None,
              trace: bool = False,
+             runner: Optional[str] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
 
@@ -56,6 +93,8 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
         model: cost model for a fresh network (ignored when ``network``
             is given).
         trace: record a message trace on the fresh network.
+        runner: ``"coop"`` (default) or ``"threads"``; ``None`` defers to
+            the ``REPRO_SPMD_RUNNER`` environment variable.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the network.
@@ -63,13 +102,50 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
     Raises:
         RankFailedError: if any rank raised; other ranks are unblocked via
             the network abort flag and their secondary errors suppressed.
+            A global deadlock surfaces as a wrapped
+            :class:`repro.errors.DeadlockError` (cooperative runner only).
     """
     net = network if network is not None else Network(nranks, model, trace=trace)
     if net.nranks != nranks:
         raise ValueError(
             f"network has {net.nranks} ranks but nranks={nranks} requested")
+    which = resolve_runner(runner)
+
+    if nranks == 1:
+        # Fast path: single rank runs inline on the calling thread (keeps
+        # tracebacks simple; payload semantics are the threaded ones).
+        results, failures = _run_inline(net, fn, args, kwargs)
+    elif which == "threads":
+        results, failures = _run_threads(net, nranks, fn, args, kwargs)
+    else:
+        results, failures = CoopEngine(net, nranks).run(fn, args, kwargs)
+
+    if failures:
+        genuine = {r: e for r, e in failures.items()
+                   if not isinstance(e, CommError)} or failures
+        raise RankFailedError(genuine)
+    return SpmdResult(results, net)
+
+
+def _run_inline(net: Network, fn: Callable[..., Any], args: tuple,
+                kwargs: dict) -> tuple[List[Any], Dict[int, BaseException]]:
+    results: List[Any] = [None]
+    failures: Dict[int, BaseException] = {}
+    comm = SimComm(net, 0)
+    try:
+        results[0] = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - uniform failure report
+        failures[0] = exc
+        net.abort(exc)
+    return results, failures
+
+
+def _run_threads(net: Network, nranks: int, fn: Callable[..., Any],
+                 args: tuple, kwargs: dict,
+                 ) -> tuple[List[Any], Dict[int, BaseException]]:
+    """Legacy thread-per-rank execution (see module docstring)."""
     results: List[Any] = [None] * nranks
-    failures: dict[int, BaseException] = {}
+    failures: Dict[int, BaseException] = {}
     failures_lock = threading.Lock()
 
     def runner(rank: int) -> None:
@@ -88,20 +164,11 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
                 failures[rank] = exc
             net.abort(exc)
 
-    if nranks == 1:
-        # Fast path: no threads needed, keeps tracebacks simple.
-        runner(0)
-    else:
-        threads = [threading.Thread(target=runner, args=(r,), daemon=True,
-                                    name=f"spmd-rank-{r}")
-                   for r in range(nranks)]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-
-    if failures:
-        genuine = {r: e for r, e in failures.items()
-                   if not isinstance(e, CommError)} or failures
-        raise RankFailedError(genuine)
-    return SpmdResult(results, net)
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True,
+                                name=f"spmd-rank-{r}")
+               for r in range(nranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, failures

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight message.
 
@@ -14,7 +14,12 @@ class Message:
     are fixed when the sender posts (egress link booked in sender program
     order); ``t_done`` is fixed when the receiver matches (ingress link
     booked in receiver program order), so both links serialize
-    deterministically regardless of thread scheduling.
+    deterministically regardless of execution interleaving.
+
+    ``loans`` (cooperative zero-copy mode only) lists the loan-registry keys
+    of sender buffers backing this payload; they are released when the
+    message is delivered, or when the sender seals the message by waiting
+    on it before delivery.
     """
 
     src: int
@@ -26,9 +31,14 @@ class Message:
     t_start_tx: float
     t_first: float
     t_done: Optional[float] = None
+    loans: Tuple[int, ...] = ()
 
     def matches(self, source: int, tag: int) -> bool:
         return self.src == source and self.tag == tag
+
+    @property
+    def delivered(self) -> bool:
+        return self.t_done is not None
 
 
 @dataclass
@@ -47,6 +57,8 @@ class TraceRecord:
 class Request:
     """Base class for non-blocking operation handles."""
 
+    __slots__ = ()
+
     def test(self) -> bool:  # pragma: no cover - interface
         raise NotImplementedError
 
@@ -54,29 +66,48 @@ class Request:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class SendRequest(Request):
     """Handle returned by ``isend``.
 
     The transfer's egress slot is booked at post time (DMA-like); ``wait``
-    advances the sender clock to the point where the send buffer is
-    reusable, i.e. after egress serialization.
+    advances the sender clock to the point where the buffer is reusable,
+    i.e. after egress serialization.
+
+    In cooperative zero-copy mode the payload is a read-only view of the
+    sender's buffer, which stays on loan (write-locked) while the message is
+    in flight.  ``wait`` *seals* a still-undelivered message — snapshots the
+    payload and returns the loan — so that, per the MPI contract, the buffer
+    is genuinely reusable once ``wait`` returns.  Mutating the buffer
+    between ``isend`` and ``wait`` raises instead of corrupting the
+    receiver (except through a pre-existing writable alias, which numpy
+    cannot detect — see :mod:`repro.comm.communicator`).
     """
 
     comm: Any
     done_time: float
     completed: bool = False
+    _message: Optional[Message] = field(default=None, repr=False)
 
     def test(self) -> bool:
-        return True  # eager protocol: buffer is always accepted
+        # Eager protocol: the buffer is always accepted.  Honour that for a
+        # loaned zero-copy payload by sealing it now, so a caller that
+        # mutates after a successful test() stays safe.
+        msg = self._message
+        if msg is not None and msg.loans and not msg.delivered:
+            self.comm._seal(msg)
+        return True
 
     def wait(self) -> None:
         if not self.completed:
             self.comm._advance_clock(self.done_time)
             self.completed = True
+            msg = self._message
+            if msg is not None and msg.loans and not msg.delivered:
+                self.comm._seal(msg)
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvRequest(Request):
     """Handle returned by ``irecv``; resolves when a matching message from
     ``(source, tag)`` is consumed."""

@@ -3,26 +3,53 @@
 One :class:`Network` is shared by all ranks of an SPMD run.  It owns:
 
 * per-destination mailboxes with (source, tag) matching and per-channel FIFO
-  ordering (deterministic regardless of thread scheduling),
+  ordering (deterministic regardless of execution interleaving),
 * per-rank egress/ingress link availability for the LogGP-style occupancy
   model (see :mod:`repro.comm.model`),
 * per-rank traffic counters (words/messages sent and received) used by the
   volume benchmarks and the Table 1 / Theorem 3.1 checks,
 * an optional message trace for congestion analysis,
 * an abort flag so one failing rank unblocks every other rank.
+
+Execution modes
+---------------
+
+The network serves two runners (see :mod:`repro.comm.launcher`):
+
+* **cooperative** (default): a scheduler (:class:`repro.comm.engine.
+  CoopEngine`) attaches itself as ``net._sched``.  Exactly one rank executes
+  at any time and switches happen only at blocking points, so every network
+  operation runs single-threaded: the hot path takes **no locks**, uses no
+  condition variables and never polls.  A blocked receive hands control to
+  the scheduler, which resumes the rank when a matching message is posted.
+  Immutable payloads and the audited ``sendrecv`` path travel zero-copy;
+  ``isend`` buffers are write-locked via the loan registry
+  (:meth:`take_loan` / :meth:`release_loans`) until the single
+  ownership-transfer snapshot at delivery or seal (see
+  :mod:`repro.comm.communicator`).
+* **threaded** (``runner="threads"`` fallback): one free-running OS thread
+  per rank; all state is guarded by ``_lock`` and blocked receivers park on
+  per-destination condition variables (with a timeout so an abort is never
+  missed).  Payloads are defensively deep-copied at post time.
+
+Simulated time is schedule-independent in both modes: egress links are
+booked in sender program order and ingress links in receiver program order,
+so clocks, traffic counters and results are identical across runners.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import CommError
 from .message import Message, TraceRecord
 from .model import NetworkModel
+from .payload import freeze as _freeze
 
 
 @dataclass
@@ -55,6 +82,7 @@ class Network:
     """Shared state of the simulated machine for ``nranks`` ranks."""
 
     #: polling interval for blocked receivers to notice an abort
+    #: (threaded runner only; the cooperative runner never polls)
     _WAIT_TIMEOUT = 0.2
 
     def __init__(self, nranks: int, model: Optional[NetworkModel] = None, *,
@@ -65,18 +93,40 @@ class Network:
         self.model = model or NetworkModel()
         self._lock = threading.Lock()
         self._conds = [threading.Condition(self._lock) for _ in range(nranks)]
-        self._queues: List[List[Message]] = [[] for _ in range(nranks)]
-        self._seq = np.zeros((nranks, nranks), dtype=np.int64)
-        self.egress_free = np.zeros(nranks, dtype=np.float64)
-        self.ingress_free = np.zeros(nranks, dtype=np.float64)
-        self.clocks = np.zeros(nranks, dtype=np.float64)
-        self.words_sent = np.zeros(nranks, dtype=np.int64)
-        self.words_recv = np.zeros(nranks, dtype=np.int64)
-        self.msgs_sent = np.zeros(nranks, dtype=np.int64)
-        self.msgs_recv = np.zeros(nranks, dtype=np.int64)
+        # Per-destination mailboxes, keyed by channel (source, tag): pop is
+        # an O(1) dict lookup + popleft, and per-channel FIFO (= sequence
+        # order, since posts append in sender program order) is preserved
+        # by construction.  Matching is always exact — there is no
+        # ANY_SOURCE/ANY_TAG — so no cross-channel ordering is needed.
+        self._queues: List[Dict[Tuple[int, int], Deque[Message]]] = [
+            {} for _ in range(nranks)]
+        # Scalar per-rank state lives in plain Python lists: indexed scalar
+        # reads/writes dominate the per-message hot path and are ~10x
+        # cheaper on lists than on numpy arrays (no scalar boxing).  All
+        # external consumers only index these read-only; aggregate views
+        # come from :meth:`stats` / :attr:`makespan`.
+        self._seq: List[List[int]] = [[0] * nranks for _ in range(nranks)]
+        self.egress_free: List[float] = [0.0] * nranks
+        self.ingress_free: List[float] = [0.0] * nranks
+        self.clocks: List[float] = [0.0] * nranks
+        self.words_sent: List[int] = [0] * nranks
+        self.words_recv: List[int] = [0] * nranks
+        self.msgs_sent: List[int] = [0] * nranks
+        self.msgs_recv: List[int] = [0] * nranks
         self.trace_enabled = trace
         self.trace: List[TraceRecord] = []
         self._abort_exc: Optional[BaseException] = None
+        #: cooperative scheduler, attached by the engine for the duration of
+        #: a run; ``None`` means threaded (locked) mode
+        self._sched = None
+        #: send-buffer loan registry (cooperative zero-copy mode):
+        #: id(arr) -> [arr, refcount]; arrays are write-locked while loaned
+        self._loans: Dict[int, list] = {}
+
+    @property
+    def cooperative(self) -> bool:
+        """True while a cooperative scheduler drives this network."""
+        return self._sched is not None
 
     # ------------------------------------------------------------------
     # Posting and matching
@@ -87,48 +137,77 @@ class Network:
         with the simulated time at which the sender's buffer is free."""
         if not 0 <= dst < self.nranks:
             raise CommError(f"invalid destination rank {dst}")
-        m = self.model
+        if self._sched is not None:  # single-threaded: lock-free
+            return self._post_impl(src, dst, tag, payload, nwords_,
+                                   sender_clock)
         with self._lock:
+            return self._post_impl(src, dst, tag, payload, nwords_,
+                                   sender_clock)
+
+    def _post_impl(self, src: int, dst: int, tag: int, payload: Any,
+                   nwords_: int, sender_clock: float) -> tuple[Message, float]:
+        if self._abort_exc is not None:
             self._check_abort()
-            t_start = max(sender_clock, float(self.egress_free[src]))
-            t_end_tx = t_start + m.beta * nwords_
-            self.egress_free[src] = t_end_tx
-            msg = Message(
-                src=src, dst=dst, tag=tag,
-                seq=int(self._seq[src, dst]),
-                payload=payload, nwords=nwords_,
-                t_start_tx=t_start, t_first=t_start + m.alpha,
-            )
-            self._seq[src, dst] += 1
-            self.words_sent[src] += nwords_
-            self.msgs_sent[src] += 1
-            self._queues[dst].append(msg)
+        m = self.model
+        t_start = self.egress_free[src]
+        if sender_clock > t_start:
+            t_start = sender_clock
+        t_end_tx = t_start + m.beta * nwords_
+        self.egress_free[src] = t_end_tx
+        row = self._seq[src]
+        msg = Message(src, dst, tag, row[dst], payload, nwords_,
+                      t_start, t_start + m.alpha)
+        row[dst] += 1
+        self.words_sent[src] += nwords_
+        self.msgs_sent[src] += 1
+        mailbox = self._queues[dst]
+        key = (src, tag)
+        chan = mailbox.get(key)
+        if chan is None:
+            chan = mailbox[key] = deque()
+        chan.append(msg)
+        if self._sched is not None:
+            self._sched.on_post(msg)
+        else:
             self._conds[dst].notify_all()
         return msg, t_end_tx + m.o_send
 
     def try_match(self, dst: int, source: int, tag: int) -> Optional[Message]:
-        """Pop the earliest-sequence matching message, or return None."""
+        """Pop the earliest-sequence matching message, or return None.
+
+        Under the cooperative runner a miss *yields the token* before
+        reporting None, so ``while not req.test(): ...`` polling loops give
+        the prospective sender a chance to run instead of livelocking.
+        """
+        if self._sched is not None:
+            return self._sched.try_match(dst, source, tag)
         with self._lock:
             self._check_abort()
-            return self._pop_match_locked(dst, source, tag)
+            return self._pop_match(dst, source, tag)
 
     def match_blocking(self, dst: int, source: int, tag: int) -> Message:
-        """Block (wall-clock) until a matching message arrives, then pop it."""
+        """Block until a matching message arrives, then pop it.
+
+        Cooperative mode hands control to the scheduler (the rank is resumed
+        exactly when a matching message is posted); threaded mode parks on
+        the destination's condition variable.
+        """
+        if self._sched is not None:
+            return self._sched.match_blocking(dst, source, tag)
         cond = self._conds[dst]
         with cond:
             while True:
                 self._check_abort()
-                msg = self._pop_match_locked(dst, source, tag)
+                msg = self._pop_match(dst, source, tag)
                 if msg is not None:
                     return msg
                 cond.wait(self._WAIT_TIMEOUT)
 
-    def _pop_match_locked(self, dst: int, source: int,
-                          tag: int) -> Optional[Message]:
-        queue = self._queues[dst]
-        for i, msg in enumerate(queue):
-            if msg.matches(source, tag):
-                return queue.pop(i)
+    def _pop_match(self, dst: int, source: int,
+                   tag: int) -> Optional[Message]:
+        chan = self._queues[dst].get((source, tag))
+        if chan:
+            return chan.popleft()
         return None
 
     # ------------------------------------------------------------------
@@ -137,19 +216,68 @@ class Network:
     def deliver(self, msg: Message) -> float:
         """Book the ingress link for a matched message; returns its
         completion time in simulated seconds."""
-        m = self.model
+        if self._sched is not None:
+            return self._deliver_impl(msg)
         with self._lock:
-            t_done = max(msg.t_first, float(self.ingress_free[msg.dst]))
-            t_done += m.beta * msg.nwords
-            self.ingress_free[msg.dst] = t_done
-            msg.t_done = t_done
-            self.words_recv[msg.dst] += msg.nwords
-            self.msgs_recv[msg.dst] += 1
-            if self.trace_enabled:
-                self.trace.append(TraceRecord(
-                    msg.src, msg.dst, msg.tag, msg.nwords,
-                    msg.t_start_tx, msg.t_first, t_done))
+            return self._deliver_impl(msg)
+
+    def _deliver_impl(self, msg: Message) -> float:
+        dst = msg.dst
+        t_done = self.ingress_free[dst]
+        if msg.t_first > t_done:
+            t_done = msg.t_first
+        t_done += self.model.beta * msg.nwords
+        self.ingress_free[dst] = t_done
+        msg.t_done = t_done
+        self.words_recv[dst] += msg.nwords
+        self.msgs_recv[dst] += 1
+        if msg.loans:
+            # End of the loan: the receiver takes ownership of a private
+            # snapshot.  Copying here (instead of at post time) means a
+            # message whose sender waited first is copied exactly once at
+            # the seal, and the sender may legally reuse its buffer after
+            # wait() without ever aliasing what the receiver holds.
+            msg.payload = _freeze(msg.payload, readonly=True)
+            self.release_loans(msg)
+        if self.trace_enabled:
+            self.trace.append(TraceRecord(
+                msg.src, dst, msg.tag, msg.nwords,
+                msg.t_start_tx, msg.t_first, t_done))
         return t_done
+
+    # ------------------------------------------------------------------
+    # Send-buffer loans (cooperative zero-copy mode)
+    # ------------------------------------------------------------------
+    # A sender's array is "on loan" from isend until the message is
+    # delivered (or sealed by an early wait): the array is write-locked so
+    # a contract-violating mutation raises instead of corrupting the
+    # receiver (mutation through a pre-existing writable alias is the one
+    # undetectable exception — numpy flags are per-object).  Loans are
+    # refcounted because the same buffer may back several in-flight
+    # messages; the engine drains unfinished loans at section end.
+    def take_loan(self, arr: np.ndarray) -> int:
+        """Write-lock ``arr`` for the duration of a message flight; returns
+        the registry key to store on the message."""
+        key = id(arr)
+        entry = self._loans.get(key)
+        if entry is None:
+            self._loans[key] = [arr, 1]
+            arr.setflags(write=False)
+        else:
+            entry[1] += 1
+        return key
+
+    def release_loans(self, msg: Message) -> None:
+        """Return the loaned buffers of ``msg`` to their owner."""
+        for key in msg.loans:
+            entry = self._loans.get(key)
+            if entry is None:  # pragma: no cover - defensive
+                continue
+            entry[1] -= 1
+            if entry[1] == 0:
+                del self._loans[key]
+                entry[0].setflags(write=True)
+        msg.loans = ()
 
     # ------------------------------------------------------------------
     # Abort handling
@@ -180,13 +308,13 @@ class Network:
         sequence numbers).  Must be taken when no messages are in flight."""
         with self._lock:
             return {
-                "clocks": self.clocks.copy(),
-                "egress": self.egress_free.copy(),
-                "ingress": self.ingress_free.copy(),
-                "words_sent": self.words_sent.copy(),
-                "words_recv": self.words_recv.copy(),
-                "msgs_sent": self.msgs_sent.copy(),
-                "msgs_recv": self.msgs_recv.copy(),
+                "clocks": list(self.clocks),
+                "egress": list(self.egress_free),
+                "ingress": list(self.ingress_free),
+                "words_sent": list(self.words_sent),
+                "words_recv": list(self.words_recv),
+                "msgs_sent": list(self.msgs_sent),
+                "msgs_recv": list(self.msgs_recv),
             }
 
     def restore_state(self, state: dict) -> None:
@@ -204,18 +332,22 @@ class Network:
     # ------------------------------------------------------------------
     def stats(self) -> TrafficStats:
         with self._lock:
-            return TrafficStats(self.words_sent.copy(), self.words_recv.copy(),
-                                self.msgs_sent.copy(), self.msgs_recv.copy())
+            return TrafficStats(
+                np.array(self.words_sent, dtype=np.int64),
+                np.array(self.words_recv, dtype=np.int64),
+                np.array(self.msgs_sent, dtype=np.int64),
+                np.array(self.msgs_recv, dtype=np.int64))
 
     def reset_stats(self) -> None:
         with self._lock:
-            self.words_sent[:] = 0
-            self.words_recv[:] = 0
-            self.msgs_sent[:] = 0
-            self.msgs_recv[:] = 0
+            n = self.nranks
+            self.words_sent[:] = [0] * n
+            self.words_recv[:] = [0] * n
+            self.msgs_sent[:] = [0] * n
+            self.msgs_recv[:] = [0] * n
             self.trace.clear()
 
     @property
     def makespan(self) -> float:
         """Latest simulated clock across ranks."""
-        return float(self.clocks.max())
+        return max(self.clocks)

@@ -1,10 +1,14 @@
-"""Payload size accounting.
+"""Payload size accounting and snapshotting.
 
 The paper measures communication volume in *words*: a sparse gradient in COO
 format with ``k`` non-zeros costs ``2k`` (``k`` float values plus ``k``
 integer indexes).  We charge one word per 4 bytes, so float32/int32 elements
 cost one word each and float64/int64 cost two.  This keeps the accounting
 honest: an implementation that ships int64 indexes pays for it.
+
+:func:`freeze` lives here (rather than in ``communicator``) because both
+the communicator and the network's delivery path need it without creating
+an import cycle.
 """
 
 from __future__ import annotations
@@ -14,6 +18,30 @@ from typing import Any
 import numpy as np
 
 
+def freeze(obj: Any, readonly: bool = False) -> Any:
+    """Deep-snapshot mutable payloads (ndarray leaves are copied).
+
+    Self-sizing immutable payloads (``comm_nwords`` protocol, e.g.
+    ``COOVector``) pass through untouched.  With ``readonly=True`` the
+    snapshots are write-locked, matching the cooperative runner's
+    invariant that received arrays are never writable.
+    """
+    if obj is None or hasattr(obj, "comm_nwords"):
+        return obj
+    if isinstance(obj, np.ndarray):
+        out = obj.copy()
+        if readonly:
+            out.setflags(write=False)
+        return out
+    if isinstance(obj, tuple):
+        return tuple(freeze(v, readonly) for v in obj)
+    if isinstance(obj, list):
+        return [freeze(v, readonly) for v in obj]
+    if isinstance(obj, dict):
+        return {k: freeze(v, readonly) for k, v in obj.items()}
+    return obj
+
+
 def nwords(obj: Any) -> int:
     """Number of 4-byte words needed to transfer ``obj``.
 
@@ -21,9 +49,16 @@ def nwords(obj: Any) -> int:
     control values (ints, floats, bools, short strings) are charged one
     word; containers are charged the sum of their items.  ``None`` is free
     (pure control message).
+
+    Objects exposing ``comm_nwords`` (attribute or method) size themselves;
+    this is checked first because such payloads (``COOVector``) dominate
+    the sparse-allreduce hot path.
     """
     if obj is None:
         return 0
+    custom = getattr(obj, "comm_nwords", None)
+    if custom is not None:
+        return int(custom() if callable(custom) else custom)
     if isinstance(obj, np.ndarray):
         return int(obj.size) * max(1, obj.dtype.itemsize // 4)
     if isinstance(obj, (bool, int, float, np.integer, np.floating)):
@@ -34,7 +69,4 @@ def nwords(obj: Any) -> int:
         return sum(nwords(v) for v in obj.values())
     if isinstance(obj, (tuple, list)):
         return sum(nwords(v) for v in obj)
-    custom = getattr(obj, "comm_nwords", None)
-    if custom is not None:
-        return int(custom() if callable(custom) else custom)
     raise TypeError(f"cannot size payload of type {type(obj).__name__}")

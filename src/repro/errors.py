@@ -38,6 +38,14 @@ class MatchError(CommError):
     """A receive could not be matched (e.g. negative source, bad tag)."""
 
 
+class DeadlockError(CommError):
+    """Every live rank is blocked on a receive that can never be matched.
+
+    Only the cooperative runner can prove this (it sees the global blocked
+    set); the threaded runner would simply hang until interrupted.
+    """
+
+
 class SparseFormatError(ReproError):
     """A sparse vector violated its format invariants."""
 

@@ -1,7 +1,13 @@
 """Sparse gradient primitives: COO vectors, top-k selection, threshold
 estimation and gradient-space partitioning."""
 
-from .coo import COOVector, combine_sum, INDEX_DTYPE, VALUE_DTYPE
+from .coo import (
+    COOVector,
+    INDEX_DTYPE,
+    VALUE_DTYPE,
+    combine_sum,
+    intersect_sorted,
+)
 from .metrics import SelectionStats, density, fill_in_ratio, selection_stats
 from .partition import (
     balanced_boundaries_local,
@@ -29,6 +35,7 @@ from .topk import (
 __all__ = [
     "COOVector",
     "combine_sum",
+    "intersect_sorted",
     "INDEX_DTYPE",
     "VALUE_DTYPE",
     "exact_topk",

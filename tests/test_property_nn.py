@@ -80,6 +80,12 @@ class TestLayerInvariants:
         y = net.forward(x)
         dx = net.backward(np.ones_like(y))
         assert dx.shape == x.shape
-        # gradients accumulated in every parameterized layer
-        assert all(np.any(p.grad != 0) or np.all(p.data == 0)
-                   for lin in layers[::2] for p in [lin.W])
+        # Gradients accumulate in every parameterized layer — unless some
+        # ReLU killed the whole signal (all units dead), in which case zero
+        # gradients upstream of it are the *correct* answer.  Hypothesis
+        # found such a dead-layer example (depth=3, seed=1), so the
+        # property must be conditioned on a live activation path.
+        path_alive = all(np.any(r._mask) for r in layers[1::2])
+        if path_alive:
+            assert all(np.any(p.grad != 0) or np.all(p.data == 0)
+                       for lin in layers[::2] for p in [lin.W])

@@ -44,7 +44,7 @@ class TestSchedules:
     def test_buckets_cover_all_steps(self):
         steps = rotated_steps(0, 16)
         got = [s for b in buckets(steps, 4) for s in b]
-        assert got == steps
+        assert got == list(steps)
 
     def test_bucket_size_validation(self):
         with pytest.raises(ValueError):

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow  # real training runs; skip with -m "not slow"
+
 from repro.comm import run_spmd
 from repro.data import ShardedLoader, make_an4_like, make_cifar_like, \
     make_wikipedia_like

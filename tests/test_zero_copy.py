@@ -1,0 +1,390 @@
+"""Zero-copy send-path safety.
+
+The cooperative runner ships ndarray payloads as read-only views.  The
+contract (see :mod:`repro.comm.communicator`):
+
+* a buffer passed to ``isend`` is **on loan** until the message is
+  delivered or the request is waited on — mutating it mid-flight raises
+  instead of corrupting the receiver;
+* once ``wait()`` returns the buffer is genuinely reusable (a
+  still-undelivered message is sealed with a snapshot at that point);
+* blocking ``send`` keeps eager semantics: the buffer is reusable the
+  moment the call returns;
+* received arrays are read-only; receivers that mutate must ``copy()``.
+
+The property test drives randomized payload sizes and mutation patterns
+under BOTH runners and asserts the receiver always observes the values
+from before the (legal) mutation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import run_spmd
+from repro.errors import RankFailedError
+
+RUNNERS = ("coop", "threads")
+
+
+class TestSenderMutation:
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_mutate_after_blocking_send(self, runner):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(64, dtype=np.float32)
+                comm.send(buf, dest=1)
+                buf[:] = -1.0  # legal: eager send, buffer reusable
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1], np.ones(64, dtype=np.float32))
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_mutate_after_isend_wait(self, runner):
+        """MPI contract: after wait() the buffer is reusable."""
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(64, dtype=np.float32)
+                req = comm.isend(buf, dest=1)
+                req.wait()
+                buf[:] = -1.0  # legal: request completed
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1], np.ones(64, dtype=np.float32))
+
+    def test_mutate_between_isend_and_wait_raises_coop(self):
+        """Cooperative mode write-locks the loaned buffer: the illegal
+        mutation fails loudly instead of corrupting the receiver."""
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(64, dtype=np.float32)
+                req = comm.isend(buf, dest=1)
+                try:
+                    buf[:] = -1.0  # illegal: buffer on loan
+                    raise AssertionError("loaned buffer was writable")
+                except ValueError:
+                    pass
+                req.wait()
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog, runner="coop")
+        np.testing.assert_array_equal(res[1], np.ones(64, dtype=np.float32))
+
+    def test_mutate_between_isend_and_wait_threads_is_safe(self):
+        """The threaded runner deep-copies at post time, so even the
+        contract-violating mutation cannot corrupt the receiver."""
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(64, dtype=np.float32)
+                req = comm.isend(buf, dest=1)
+                buf[:] = -1.0
+                req.wait()
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog, runner="threads")
+        np.testing.assert_array_equal(res[1], np.ones(64, dtype=np.float32))
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_same_buffer_loaned_to_many_peers(self, runner):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.full(32, 7.0, dtype=np.float32)
+                reqs = [comm.isend(buf, dest=d) for d in (1, 2, 3)]
+                for r in reqs:
+                    r.wait()
+                buf[:] = 0.0
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(4, prog, runner=runner)
+        for r in (1, 2, 3):
+            np.testing.assert_array_equal(res[r],
+                                          np.full(32, 7.0, dtype=np.float32))
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_view_payload_falls_back_to_snapshot(self, runner):
+        """A view of a bigger buffer cannot be write-locked reliably, so the
+        loan path snapshots it; mutating through the base stays safe."""
+        def prog(comm):
+            if comm.rank == 0:
+                base = np.arange(100, dtype=np.float32)
+                req = comm.isend(base[10:20], dest=1)
+                base[:] = -1.0  # mutate through the base, not the view
+                req.wait()
+                return None
+            return comm.recv(0)
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1],
+                                      np.arange(10, 20, dtype=np.float32))
+
+
+class TestOwnershipTransfer:
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_receiver_retains_array_across_sender_reuse(self, runner):
+        """A receiver may hold a received array indefinitely: the sender
+        legally reusing its buffer after wait() must never reach it."""
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.ones(16, dtype=np.float32)
+                req = comm.isend(buf, dest=1)
+                comm.recv(1, tag=4)  # ack: receiver has consumed
+                req.wait()
+                buf[:] = -1.0  # legal reuse; must not alias receiver's copy
+                comm.send(None, 1, tag=5)
+                return None
+            got = comm.recv(0)  # retained WITHOUT copy across blocking calls
+            comm.send(1, dest=0, tag=4)
+            comm.recv(0, tag=5)  # sender has mutated by now
+            return got
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1], np.ones(16, dtype=np.float32))
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_readonly_view_of_writable_base_is_snapshotted(self, runner):
+        """A read-only *view* does not make the underlying buffer immutable;
+        the send path must snapshot it or mutation through the base would
+        corrupt the receiver."""
+        def prog(comm):
+            if comm.rank == 0:
+                base = np.ones(16, dtype=np.float32)
+                view = base[:8]
+                view.setflags(write=False)
+                req = comm.isend(view, dest=1)
+                comm.recv(1, tag=4)
+                base[:] = -1.0  # mutate through the writable base
+                req.wait()
+                comm.send(None, 1, tag=5)
+                return None
+            got = comm.recv(0)
+            comm.send(1, dest=0, tag=4)
+            comm.recv(0, tag=5)
+            return got
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1], np.ones(8, dtype=np.float32))
+
+
+class TestLoanAliases:
+    def test_readonly_alias_of_loaned_buffer_joins_loan(self):
+        """A read-only view of a buffer that is already on loan must stay
+        protected until the LAST in-flight message ends — delivery of the
+        first message must not thaw the buffer under the second."""
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.arange(8, dtype=np.float32)
+                r1 = comm.isend(arr, dest=1, tag=1)      # loans arr
+                r2 = comm.isend(arr[:], dest=1, tag=2)   # read-only alias
+                comm.recv(1, tag=3)  # rank 1 consumed tag 1 only
+                try:
+                    arr[0] = 99.0
+                    mutated = "mutated (BAD: alias still in flight)"
+                except ValueError:
+                    mutated = "locked"
+                r1.wait()
+                r2.wait()
+                arr[0] = 99.0  # both flights over: legal now
+                comm.send(None, 1, tag=4)
+                return mutated
+            first = comm.recv(0, tag=1).copy()
+            comm.send(1, dest=0, tag=3)
+            comm.recv(0, tag=4)
+            second = comm.recv(0, tag=2)
+            return first, second.tolist()
+
+        res = run_spmd(2, prog, runner="coop")
+        assert res[0] == "locked"
+        _, second = res[1]
+        assert second == list(range(8))  # untouched by the sender's writes
+
+
+class TestLoanDrain:
+    def test_unreceived_isend_does_not_leak_readonly_buffer(self):
+        """A message posted but never received (legal, eager semantics)
+        must not leave the sender's array locked after run_spmd returns."""
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.ones(4, dtype=np.float32)
+                comm.isend(arr, dest=1, tag=5)  # rank 1 never receives it
+                return arr
+            return None
+
+        res = run_spmd(2, prog, runner="coop")
+        arr = res[0]
+        assert arr.flags.writeable  # loan drained at section end
+        arr[0] = 2.0  # and genuinely reusable
+        assert run_spmd(2, prog, runner="coop").network._loans == {}
+
+    def test_abort_releases_loans(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.ones(4, dtype=np.float32)
+                comm.isend(arr, dest=1, tag=5)
+                comm.recv(1, tag=6)  # never posted -> deadlock abort
+                return arr
+            raise RuntimeError("boom")
+
+        with pytest.raises(RankFailedError):
+            run_spmd(2, prog, runner="coop")
+
+
+class TestPollingProgress:
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_busy_poll_test_makes_progress(self, runner):
+        """``while not req.test()`` must not starve the prospective sender
+        (the cooperative try_match yields the token on a miss)."""
+        def prog(comm):
+            if comm.rank == 0:
+                comm.compute(1.0)  # sender is deliberately "late"
+                comm.send(np.arange(4, dtype=np.float32), dest=1)
+                return None
+            req = comm.irecv(0)
+            spins = 0
+            while not req.test():
+                spins += 1
+                assert spins < 1_000_000, "test() loop starved the sender"
+            return req.wait()
+
+        res = run_spmd(2, prog, runner=runner)
+        np.testing.assert_array_equal(res[1], np.arange(4, dtype=np.float32))
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_bounded_poll_then_give_up_is_legal(self, runner):
+        """A program may poll a receive that is not (yet) matchable a
+        bounded number of times and then move on — the engine must answer
+        False, never abort, and progress resumes once the poller acts."""
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, tag=1)
+                tries = 0
+                while not req.test() and tries < 25:
+                    tries += 1  # peer is blocked: these polls are misses
+                comm.send(None, 1, tag=2)  # give up polling; unblock peer
+                return float(req.wait())
+            comm.recv(0, tag=2)
+            comm.send(np.float32(9.0), 0, tag=1)
+            return None
+
+        assert run_spmd(2, prog, runner=runner)[0] == 9.0
+
+
+class TestReceiverSide:
+    def test_received_arrays_are_readonly_coop(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(8, dtype=np.float32), dest=1)
+                return None
+            got = comm.recv(0)
+            return bool(got.flags.writeable)
+
+        assert run_spmd(2, prog, runner="coop")[1] is False
+
+    def test_receiver_mutation_needs_copy_coop(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.ones(8, dtype=np.float32), dest=1)
+                return None
+            got = comm.recv(0)
+            with pytest.raises(ValueError):
+                got += 1.0
+            out = got.copy()  # the documented escape hatch
+            out += 1.0
+            return out
+
+        res = run_spmd(2, prog, runner="coop")
+        np.testing.assert_array_equal(res[1], np.full(8, 2.0, np.float32))
+
+
+class TestZeroCopyProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(size=st.integers(1, 512), seed=st.integers(0, 2**16),
+           wait_first=st.booleans())
+    def test_receiver_never_sees_post_wait_mutation(self, size, seed,
+                                                    wait_first):
+        """Property: whatever a sender does to its buffer after the send
+        request completes, every receiver observes the original values —
+        under both runners, with identical received bits."""
+        rng = np.random.default_rng(seed)
+        original = rng.normal(size=size).astype(np.float32)
+
+        def prog(comm):
+            if comm.rank == 0:
+                buf = original.copy()
+                reqs = [comm.isend(buf, dest=d, tag=3)
+                        for d in range(1, comm.size)]
+                if wait_first:
+                    for r in reqs:
+                        r.wait()
+                    buf[:] = np.inf  # legal mutation after completion
+                    return None
+                # exercise the delivery-releases-the-loan path: block on a
+                # reply first so peers consume the message, then mutate
+                acks = [comm.recv(d, tag=4) for d in range(1, comm.size)]
+                for r in reqs:
+                    r.wait()
+                buf[:] = np.inf
+                return acks
+            got = comm.recv(0, tag=3).copy()
+            comm.send(1, dest=0, tag=4)
+            return got
+
+        outs = {}
+        for runner in RUNNERS:
+            res = run_spmd(3, prog, runner=runner)
+            for r in (1, 2):
+                np.testing.assert_array_equal(res[r], original)
+            outs[runner] = res
+        np.testing.assert_array_equal(outs["coop"][1], outs["threads"][1])
+
+
+class TestAlgorithmsUnderZeroCopy:
+    def test_schemes_match_dense_reference(self):
+        """End-to-end guard: every scheme still reduces correctly when all
+        payloads are views (catches receiver-side mutation regressions)."""
+        from repro.allreduce import make_allreduce
+
+        def prog(comm, scheme):
+            algo = make_allreduce(
+                scheme, **({} if scheme in ("dense", "dense_ovlp")
+                           else {"density": 0.1}))
+            rng = np.random.default_rng(comm.rank)
+            acc = rng.normal(size=512).astype(np.float32)
+            res = algo.reduce(comm, acc, 1)
+            upd = res.update
+            return upd if isinstance(upd, np.ndarray) else upd.to_dense()
+
+        for scheme in ("dense", "dense_ovlp", "topka", "topkdsa", "gtopk",
+                       "gaussiank", "oktopk"):
+            res = run_spmd(4, prog, scheme, runner="coop")
+            for out in res.results:
+                assert np.isfinite(out).all(), scheme
+
+
+class TestDeadlockDetection:
+    def test_global_deadlock_is_detected(self):
+        """The cooperative runner proves the deadlock and raises instead of
+        hanging (the threaded runner would block forever here)."""
+        def prog(comm):
+            # everyone receives from a tag nobody ever sends
+            return comm.recv((comm.rank + 1) % comm.size, tag=999)
+
+        with pytest.raises(RankFailedError, match="can never match"):
+            run_spmd(3, prog, runner="coop")
+
+    def test_partial_progress_then_deadlock(self):
+        def prog(comm):
+            other = 1 - comm.rank
+            comm.send(np.ones(4, dtype=np.float32), other, tag=1)
+            comm.recv(other, tag=1)
+            comm.recv(other, tag=2)  # never sent
+
+        with pytest.raises(RankFailedError, match="waiting on"):
+            run_spmd(2, prog, runner="coop")
