@@ -64,14 +64,14 @@ def _min_time(fn, reps: int) -> float:
 # train_scheme timings
 # ---------------------------------------------------------------------------
 def time_train_scheme(p: int, scheme: str, runner: str, iters: int,
-                      reps: int) -> float:
+                      reps: int, bucket_size: int | None = None) -> float:
     proxy = perf_proxy()
 
     def run():
         os.environ["REPRO_SPMD_RUNNER"] = runner
         try:
             train_scheme(proxy, scheme, p, iters, density=0.02,
-                         network=proxy_network())
+                         bucket_size=bucket_size, network=proxy_network())
         finally:
             os.environ.pop("REPRO_SPMD_RUNNER", None)
 
@@ -152,6 +152,25 @@ def main(argv=None) -> int:
             key = f"{scheme}_p{p}_coop_vs_threads"
             results["speedups"][key] = entry["speedup_coop_vs_threads"]
 
+    # Bucketed-session path (native per-bucket reductions + overlap
+    # accounting): tracks the session machinery's wall-clock overhead vs
+    # the one-shot-equivalent default.  bucket_size=512 splits perf_mlp
+    # into 2 buckets (the head layers close the first bucket).
+    bucketed_rows = []
+    results["train_scheme_bucketed"] = {}
+    for scheme in ("dense", "topka"):
+        entry = {}
+        for runner in RUNNERS:
+            entry[runner] = time_train_scheme(4, scheme, runner,
+                                              train_iters, reps,
+                                              bucket_size=512)
+        entry["speedup_coop_vs_threads"] = entry["threads"] / entry["coop"]
+        results["train_scheme_bucketed"][scheme] = {
+            "p": 4, "bucket_size": 512, **entry}
+        bucketed_rows.append([scheme, 4, f"{entry['coop']:.3f}",
+                              f"{entry['threads']:.3f}",
+                              f"{entry['speedup_coop_vs_threads']:.2f}x"])
+
     storm_rows = []
     for p, iters in storm_iters.items():
         entry = {r: time_storm(p, r, iters, reps) for r in RUNNERS}
@@ -168,6 +187,11 @@ def main(argv=None) -> int:
         ["scheme", "P", "coop (s)", "threads (s)", "speedup"],
         rows, title=f"train_scheme wall-clock ({train_iters} iters, "
                     f"perf_mlp probe, min of {reps})"))
+    print()
+    print(format_table(
+        ["scheme", "P", "coop (s)", "threads (s)", "speedup"],
+        bucketed_rows,
+        title="bucketed sessions (bucket_size=512, perf_mlp probe)"))
     print()
     print(format_table(
         ["P", "coop (us/msg)", "threads (us/msg)", "speedup"],

@@ -11,12 +11,28 @@ from .gaussiank import GaussiankAllreduce
 from .gtopk import GTopkAllreduce
 from .oktopk import OkTopkAllreduce
 from .registry import ALGORITHMS, PAPER_ORDER, make_allreduce
+from .session import (
+    BucketStat,
+    ParamLayout,
+    ParamSegment,
+    ReduceSession,
+    run_session,
+    split_k,
+    visible_comm_time,
+)
 from .topk_a import TopkAAllreduce
 from .topk_dsa import TopkDSAAllreduce
 
 __all__ = [
     "AllreduceResult",
     "GradientAllreduce",
+    "ReduceSession",
+    "ParamLayout",
+    "ParamSegment",
+    "BucketStat",
+    "run_session",
+    "split_k",
+    "visible_comm_time",
     "PHASE_COMM",
     "PHASE_SPARSIFY",
     "DenseAllreduce",

@@ -1,14 +1,53 @@
 """Common protocol for the paper's (sparse) gradient allreduce schemes.
 
-Every algorithm implements :class:`GradientAllreduce.reduce`:
+Every algorithm implements :class:`GradientAllreduce._reduce` and gets two
+public entry points:
 
-* input: the local accumulated gradient ``acc`` (residuals + fresh gradient,
-  Algorithm 2 line 4) as a dense float32 vector, plus the 1-based training
-  iteration ``t`` (several schemes key periodic work off ``t``);
-* output: an :class:`AllreduceResult` whose ``update`` holds the *summed*
-  update across the P workers (the optimizer divides by P), and whose
-  ``contributed_indices`` identify which local entries made it into the
-  update and must therefore be cleared from the residual.
+* **one-shot** :meth:`GradientAllreduce.reduce`:
+
+  - input: the local accumulated gradient ``acc`` (residuals + fresh
+    gradient, Algorithm 2 line 4) as a dense float32 vector, plus the
+    1-based training iteration ``t`` (several schemes key periodic work
+    off ``t``);
+  - output: an :class:`AllreduceResult` whose ``update`` holds the
+    *summed* update across the P workers (the optimizer divides by P),
+    and whose ``contributed_indices`` identify which local entries made
+    it into the update and must therefore be cleared from the residual.
+
+* **session-based** :meth:`GradientAllreduce.begin` (see
+  :mod:`repro.allreduce.session`): returns a
+  :class:`~repro.allreduce.session.ReduceSession` accepting
+  ``push(segment, grad)`` calls as backward emits per-layer gradients
+  (reverse layout order) and a ``finish()`` returning the same
+  :class:`AllreduceResult` plus per-bucket breakdowns (``bucket_stats``).
+
+Session execution semantics
+---------------------------
+
+Segments are fused into buckets by the configurable policy
+(``bucket_size`` in words; a bucket closes once it holds at least that
+many words).  With the default ``bucket_size=None`` every scheme runs
+through the delegating adapter — the pushes are concatenated and the
+one-shot ``_reduce`` runs at ``finish()`` — so sessions are **bit
+identical** to ``reduce`` in results, traffic counters and simulated
+makespans.  Schemes that declare ``bucketable = True`` additionally
+support a native multi-bucket path: each bucket is reduced independently
+(eagerly, when its last segment is pushed) with a top-k budget split
+proportionally to bucket length (:func:`repro.allreduce.session.split_k`),
+and the per-bucket results are merged.
+
+Overlap accounting
+------------------
+
+Every bucket records ``release_frac`` — the fraction of the backward pass
+(parameter mass) already emitted when its reduction started.  The trainer
+replays bucket communication against those release times
+(:func:`repro.allreduce.session.visible_comm_time`) to compute the
+communication visible after overlap, generically for **all** schemes.
+``overlap_from_start = True`` (DenseOvlp) pins ``release_frac`` to 0.0,
+reproducing the legacy trainer credit ``max(0, comm - f * compute)``
+exactly; a one-shot/delegated reduction reports ``release_frac = 1.0``
+(it needs the full gradient) and gets no credit.
 
 Algorithms are stateful per worker (cached thresholds, region boundaries),
 so the trainer constructs one instance per rank via ``make_per_rank``.
@@ -18,13 +57,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
 from ..comm import SimComm
 from ..errors import ConfigError
 from ..sparse import COOVector
+from .session import BucketStat, ParamLayout, ReduceSession
 
 PHASE_SPARSIFY = "sparsification"
 PHASE_COMM = "communication"
@@ -46,7 +86,12 @@ class AllreduceResult:
         info: algorithm-specific metrics (selected counts, fill-in, whether
             data balancing triggered, ...).
         overlappable: True when the communication can be overlapped with
-            backpropagation (DenseOvlp); the trainer applies the credit.
+            backpropagation (DenseOvlp); sessions translate it into
+            ``release_frac = 0.0`` bucket stats and the trainer's generic
+            timeline applies the credit.
+        bucket_stats: per-bucket breakdown in push order when the result
+            came from a :class:`~repro.allreduce.session.ReduceSession`
+            (``None`` for a plain one-shot ``reduce``).
     """
 
     update: Union[COOVector, np.ndarray]
@@ -54,6 +99,7 @@ class AllreduceResult:
     phase_times: Dict[str, float] = field(default_factory=dict)
     info: Dict[str, Any] = field(default_factory=dict)
     overlappable: bool = False
+    bucket_stats: Optional[List[BucketStat]] = None
 
     def update_dense(self, n: int) -> np.ndarray:
         """The update as a dense vector of length ``n``."""
@@ -69,6 +115,10 @@ class AllreduceResult:
     def sparsify_time(self) -> float:
         return self.phase_times.get(PHASE_SPARSIFY, 0.0)
 
+    @property
+    def nbuckets(self) -> int:
+        return len(self.bucket_stats) if self.bucket_stats else 1
+
 
 class GradientAllreduce(ABC):
     """Base class; concrete schemes override :meth:`_reduce`."""
@@ -77,6 +127,14 @@ class GradientAllreduce(ABC):
     name: str = "?"
     #: whether the scheme sparsifies (False for the dense baselines)
     sparse: bool = True
+    #: whether the scheme supports the native per-bucket session path
+    #: (``_reduce`` must be stateless and position-independent: it is run
+    #: on each bucket slice as if it were a full gradient vector)
+    bucketable: bool = False
+    #: True when the scheme's communication may overlap the *entire*
+    #: backward pass (DenseOvlp's legacy contract); sessions report
+    #: ``release_frac = 0.0`` for its buckets
+    overlap_from_start: bool = False
 
     def __init__(self, *, k: Optional[int] = None,
                  density: Optional[float] = None):
@@ -88,15 +146,26 @@ class GradientAllreduce(ABC):
             raise ConfigError(f"{type(self).__name__} needs k or density")
         self._k = k
         self._density = density
+        self._k_override: Optional[int] = None
 
     def resolve_k(self, n: int) -> int:
-        """The per-iteration k for a gradient of ``n`` components."""
+        """The per-iteration k for a gradient of ``n`` components.
+
+        A session's native bucketed path temporarily overrides this with
+        the bucket's proportional share of the global budget (see
+        :meth:`_reduce_bucket`).
+        """
+        if self._k_override is not None:
+            return min(self._k_override, n)
         if self._k is not None:
             return min(self._k, n)
         if self._density is None:
             return n
         return max(1, int(round(self._density * n)))
 
+    # ------------------------------------------------------------------
+    # One-shot API
+    # ------------------------------------------------------------------
     def reduce(self, comm: SimComm, acc: np.ndarray,
                t: int) -> AllreduceResult:
         """Run one allreduce at iteration ``t`` (1-based)."""
@@ -109,6 +178,36 @@ class GradientAllreduce(ABC):
         result = self._reduce(comm, acc, t)
         result.phase_times = comm.phase_times(reset=True)
         return result
+
+    # ------------------------------------------------------------------
+    # Session API
+    # ------------------------------------------------------------------
+    def begin(self, comm: SimComm, layout: ParamLayout, t: int, *,
+              bucket_size: Optional[int] = None) -> ReduceSession:
+        """Open a bucketed reduce session for one iteration.
+
+        Push per-layer gradients in reverse layout (backward) order, then
+        call ``finish()``.  ``bucket_size=None`` (one bucket) is bit
+        identical to :meth:`reduce`; a multi-bucket plan uses the native
+        per-bucket path when ``bucketable`` and the delegating adapter
+        otherwise.
+        """
+        return ReduceSession(self, comm, layout, t, bucket_size=bucket_size)
+
+    def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
+                       k: Optional[int] = None) -> AllreduceResult:
+        """Reduce one session bucket (``bucketable`` schemes only).
+
+        Default: the one-shot algorithm on the bucket slice with ``k``
+        overriding the scheme's budget for the slice.  Override for
+        schemes whose one-shot path does internal bucketing of its own
+        (DenseOvlp).
+        """
+        self._k_override = k
+        try:
+            return self._reduce(comm, np.ascontiguousarray(acc), t)
+        finally:
+            self._k_override = None
 
     @abstractmethod
     def _reduce(self, comm: SimComm, acc: np.ndarray,

@@ -1,16 +1,25 @@
 """Dense baselines: ``Dense`` and ``DenseOvlp`` (Section 5, Table 1 row 1).
 
 ``Dense`` performs a single allreduce on the full flat gradient with
-Rabenseifner's algorithm — bandwidth-optimal ``2 n (P-1)/P``.
+Rabenseifner's algorithm — bandwidth-optimal ``2 n (P-1)/P``.  It is
+``bucketable``: under a session with ``bucket_size`` set, each bucket is
+one dense allreduce over its slice and its communication overlaps the
+backward compute still outstanding when the bucket was pushed.
 
-``DenseOvlp`` groups the gradient into buckets and fires one allreduce per
-bucket; in the paper this overlaps with backpropagation.  The bucketed
-execution is real (extra latency terms and all); the overlap credit against
-backward compute is applied by the trainer, which knows the backward time
-(``result.overlappable = True`` signals it may do so).
+``DenseOvlp`` is dense + bucketing + overlap-from-start.  One-shot, it
+groups the gradient into ``nbuckets`` equal buckets and fires one
+allreduce per bucket (the bucketed execution is real — extra latency
+terms and all); under a session, the session's bucket-fusion policy *is*
+the bucketing and each bucket is a single dense allreduce.  Its
+``overlap_from_start`` contract pins every bucket's ``release_frac`` to
+0.0, so the trainer's generic timeline reproduces the legacy credit
+``max(0, comm - f * compute)`` exactly (``result.overlappable = True``
+signals the same on the one-shot path).
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 import numpy as np
 
@@ -23,6 +32,7 @@ class DenseAllreduce(GradientAllreduce):
 
     name = "dense"
     sparse = False
+    bucketable = True
 
     def __init__(self, *, algo: str = "auto", **kwargs):
         super().__init__(**kwargs)
@@ -35,18 +45,19 @@ class DenseAllreduce(GradientAllreduce):
         return AllreduceResult(update=total, contributed_indices=None)
 
 
-class DenseOvlpAllreduce(GradientAllreduce):
+class DenseOvlpAllreduce(DenseAllreduce):
     """Bucketed dense allreduce enabling communication/computation overlap."""
 
     name = "dense_ovlp"
     sparse = False
+    bucketable = True
+    overlap_from_start = True
 
     def __init__(self, *, nbuckets: int = 4, algo: str = "auto", **kwargs):
-        super().__init__(**kwargs)
+        super().__init__(algo=algo, **kwargs)
         if nbuckets < 1:
             raise ValueError("nbuckets must be >= 1")
         self.nbuckets = nbuckets
-        self.algo = algo
 
     def _reduce(self, comm: SimComm, acc: np.ndarray,
                 t: int) -> AllreduceResult:
@@ -60,3 +71,13 @@ class DenseOvlpAllreduce(GradientAllreduce):
                 out[lo:hi] = coll.allreduce(comm, acc[lo:hi], algo=self.algo)
         return AllreduceResult(update=out, contributed_indices=None,
                                info={"nbuckets": nb}, overlappable=True)
+
+    def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
+                       k: Optional[int] = None) -> AllreduceResult:
+        # The session's bucket IS the overlap bucket: one allreduce per
+        # bucket, no internal nbuckets sub-splitting (that would double
+        # the latency terms vs the equivalent dense + bucketing config).
+        with comm.phase(PHASE_COMM):
+            total = coll.allreduce(comm, acc, algo=self.algo)
+        return AllreduceResult(update=total, contributed_indices=None,
+                               overlappable=True)

@@ -22,7 +22,10 @@ from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
 
 
 class GaussiankAllreduce(GradientAllreduce):
+    # The Gaussian threshold fit is per-vector, so each session bucket
+    # fits its own slice (native bucketed path).
     name = "gaussiank"
+    bucketable = True
 
     def __init__(self, *, adjust_min_fraction: float = 0.75,
                  adjust_shrink: float = 0.8, adjust_max_rounds: int = 32,
@@ -36,6 +39,10 @@ class GaussiankAllreduce(GradientAllreduce):
                            k: int) -> tuple[float, int]:
         """Gaussian PPF estimate plus the paper's adjustment loop; returns
         the threshold and the number of adjustment rounds used."""
+        if k < 1:
+            # Zero-budget bucket (session k-split with k < nbuckets):
+            # select nothing, like the top-k schemes do.
+            return float("inf"), 0
         t = gaussian_threshold(acc, k)
         comm.compute_scan(2 * acc.size)  # mean/std pass + selection scan
         if t == 0.0:

@@ -25,7 +25,10 @@ _TAG_REDUCE = (1 << 21) + 1
 
 
 class GTopkAllreduce(GradientAllreduce):
+    # Stateless tree reduction: sessions can run one tree per bucket with
+    # the bucket's proportional k share (native bucketed path).
     name = "gtopk"
+    bucketable = True
 
     def _reduce(self, comm: SimComm, acc: np.ndarray,
                 t: int) -> AllreduceResult:

@@ -68,7 +68,12 @@ class OkTopkAllreduce(GradientAllreduce):
             catches pathological drift).
     """
 
+    # Not bucketable: the cached thresholds and consensus region
+    # boundaries are keyed to the full gradient length, so per-bucket
+    # execution would thrash the periodic state (sessions fall back to
+    # the delegating adapter, which is bit-identical to one-shot).
     name = "oktopk"
+    bucketable = False
 
     def __init__(self, *, tau: int = 64, tau_prime: int = 32,
                  balanced_partition: bool = True, rotation: bool = True,

@@ -1,0 +1,502 @@
+"""Session-based bucketed allreduce: push per-layer gradients, reduce in
+buckets, account communication/computation overlap generically.
+
+The one-shot :meth:`GradientAllreduce.reduce` treats the gradient as a
+single monolithic flat vector, which forces the whole backward pass to
+finish before any communication starts.  Real systems (SparCML's
+stream-fused collectives, bucketed sparse reducers) exchange gradients in
+*layer buckets* as backpropagation produces them, so communication of the
+late layers overlaps computation of the early ones.  This module provides
+the pieces of that execution model:
+
+* :class:`ParamLayout` — named, contiguous parameter segments of a flat
+  model vector (:attr:`repro.nn.FlatModel.layout` builds one per layer
+  parameter);
+* bucket fusion — consecutive segments, in **push order** (reverse layout
+  order: backward emits the last layer first), are fused into buckets of at
+  least ``bucket_size`` words (``None`` = everything in one bucket);
+* :func:`split_k` — the paper-order sparsification budget: the global ``k``
+  is split across buckets proportionally to bucket length (largest
+  remainder, deterministic);
+* :class:`ReduceSession` — created by :meth:`GradientAllreduce.begin`;
+  accepts ``push(segment, grad)`` calls as backward emits per-layer
+  gradients and runs the scheme when buckets complete.  Two execution
+  paths:
+
+  - **delegating adapter** (every scheme, and the default when
+    ``bucket_size`` is ``None``): pushes are concatenated into the flat
+    accumulator and the scheme's one-shot ``_reduce`` runs at
+    :meth:`ReduceSession.finish` — *bit-identical* results, traffic and
+    simulated makespans to :meth:`GradientAllreduce.reduce`;
+  - **native bucketed path** (schemes with ``bucketable = True`` and a
+    multi-bucket plan): each bucket is reduced independently — eagerly,
+    the moment its last segment is pushed — with its proportional ``k``
+    share, and :meth:`ReduceSession.finish` merges the per-bucket results
+    back into one :class:`AllreduceResult`;
+
+* :class:`BucketStat` / :func:`visible_comm_time` — the generic overlap
+  timeline.  Every bucket records the fraction of the backward pass that
+  had completed when it was pushed (``release_frac``); the trainer replays
+  the buckets' communication against those release times to compute the
+  communication that remains *visible* after overlapping with outstanding
+  backward compute.  ``release_frac = 0.0`` (schemes declaring
+  ``overlap_from_start``, i.e. DenseOvlp) reproduces the legacy trainer
+  credit ``max(0, comm - f * compute)`` exactly; ``release_frac = 1.0``
+  (a one-shot reduction, which needs the full gradient) yields no credit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..sparse import COOVector
+from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..comm import SimComm
+    from .base import AllreduceResult, GradientAllreduce
+
+
+# ---------------------------------------------------------------------------
+# Parameter layouts
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamSegment:
+    """One named contiguous slice of the flat parameter vector."""
+
+    index: int      # position in layout (forward) order
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    @property
+    def sl(self) -> slice:
+        return slice(self.offset, self.end)
+
+
+class ParamLayout:
+    """An ordered partition of a flat vector into named segments.
+
+    Segment order is *layout* (forward) order: segment 0 starts at offset
+    0.  Backward emits gradients in reverse layout order, which is the
+    push order sessions expect.
+    """
+
+    def __init__(self, segments: Sequence[ParamSegment]):
+        if not segments:
+            raise ConfigError("ParamLayout needs at least one segment")
+        ofs = 0
+        for i, seg in enumerate(segments):
+            if seg.index != i or seg.offset != ofs or seg.size < 1:
+                raise ConfigError(
+                    f"segment {i} ({seg.name!r}) breaks the contiguous "
+                    f"layout at offset {ofs}")
+            ofs = seg.end
+        self.segments: tuple = tuple(segments)
+        self.n = ofs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sizes(cls, sizes: Sequence[int],
+                   names: Optional[Sequence[str]] = None) -> "ParamLayout":
+        names = (list(names) if names is not None
+                 else [f"seg{i}" for i in range(len(sizes))])
+        if len(names) != len(sizes):
+            raise ConfigError("sizes and names must have the same length")
+        segs, ofs = [], 0
+        for i, (sz, nm) in enumerate(zip(sizes, names)):
+            segs.append(ParamSegment(i, nm, ofs, int(sz)))
+            ofs += int(sz)
+        return cls(segs)
+
+    @classmethod
+    def single(cls, n: int, name: str = "flat") -> "ParamLayout":
+        """The trivial layout: one segment covering everything."""
+        return cls([ParamSegment(0, name, 0, int(n))])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self):
+        return iter(self.segments)
+
+    def __getitem__(self, i: int) -> ParamSegment:
+        return self.segments[i]
+
+    def push_order(self) -> List[ParamSegment]:
+        """Segments in the order backward emits them (reverse layout)."""
+        return list(reversed(self.segments))
+
+    def fuse(self, bucket_size: Optional[int]) -> List[List[ParamSegment]]:
+        """Fuse consecutive push-order segments into buckets.
+
+        A bucket closes once it has accumulated at least ``bucket_size``
+        words; ``None`` fuses everything into a single bucket.  Each
+        bucket covers a contiguous range of the flat vector (consecutive
+        push-order segments are adjacent).
+        """
+        order = self.push_order()
+        if bucket_size is None:
+            return [order]
+        if bucket_size < 1:
+            raise ConfigError(f"bucket_size must be >= 1, got {bucket_size}")
+        buckets: List[List[ParamSegment]] = []
+        cur: List[ParamSegment] = []
+        words = 0
+        for seg in order:
+            cur.append(seg)
+            words += seg.size
+            if words >= bucket_size:
+                buckets.append(cur)
+                cur, words = [], 0
+        if cur:
+            buckets.append(cur)
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParamLayout(n={self.n}, segments={len(self.segments)})"
+
+
+# ---------------------------------------------------------------------------
+# k allocation across buckets
+# ---------------------------------------------------------------------------
+def split_k(k: int, lengths: Sequence[int]) -> List[int]:
+    """Split a global top-k budget proportionally to bucket lengths.
+
+    Largest-remainder rounding so the shares sum exactly to ``k``
+    (deterministic: remainder ties break toward earlier buckets).  When
+    ``k >= len(lengths)`` every bucket gets at least 1, mirroring
+    ``resolve_k``'s floor of one selected element.
+    """
+    lens = np.asarray(lengths, dtype=np.float64)
+    if lens.size == 0:
+        return []
+    total = float(lens.sum())
+    k = min(int(k), int(total))
+    quota = k * lens / total
+    base = np.floor(quota).astype(np.int64)
+    rem = k - int(base.sum())
+    if rem > 0:
+        frac_order = np.argsort(-(quota - base), kind="stable")
+        base[frac_order[:rem]] += 1
+    if k >= lens.size:
+        # steal from the largest allocations to lift zeros to one
+        for i in np.flatnonzero(base == 0):
+            donor = int(np.argmax(base))
+            if base[donor] <= 1:
+                break
+            base[donor] -= 1
+            base[i] = 1
+    return [int(b) for b in base]
+
+
+# ---------------------------------------------------------------------------
+# Per-bucket accounting
+# ---------------------------------------------------------------------------
+@dataclass
+class BucketStat:
+    """Per-bucket breakdown of one session, in push order.
+
+    ``release_frac`` is the fraction of the backward pass (measured in
+    parameter mass) already emitted when this bucket's reduction could
+    start: 1.0 for a one-shot reduction (needs the full gradient), 0.0
+    for schemes that declare their communication overlappable with the
+    whole backward (DenseOvlp's legacy contract).
+    """
+
+    lo: int
+    hi: int
+    nsegments: int
+    release_frac: float
+    k: Optional[int] = None
+    comm_time: float = 0.0
+    sparsify_time: float = 0.0
+    words_recv: int = 0
+    selected: Optional[int] = None
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def words(self) -> int:
+        return self.hi - self.lo
+
+
+def visible_comm_time(bucket_stats: Optional[Sequence[BucketStat]],
+                      compute_time: float, overlap_fraction: float,
+                      total_comm_time: float) -> float:
+    """Communication left visible after overlapping with backward compute.
+
+    Replays the buckets' communication (serialized, one NIC) against their
+    release times.  Bucket ``b`` becomes available once the backward work
+    it still overlaps with is the outstanding remainder:
+    ``T_b = compute * (1 - f * (1 - release_frac_b))`` where ``f`` is the
+    overlappable fraction of compute (the trainer's
+    ``overlap_backward_fraction``; forward compute never overlaps).  Its
+    communication starts at ``max(T_b, previous bucket's finish)``; what
+    extends past ``compute_time`` is visible.  Communication not
+    attributed to any bucket is charged unoverlapped.
+
+    Degenerate cases reproduce the legacy trainer exactly: a single bucket
+    with ``release_frac = 1`` returns ``total_comm_time``; buckets all at
+    ``release_frac = 0`` return ``max(0, comm - f * compute)``.
+    """
+    if not bucket_stats:
+        return total_comm_time
+    f = min(max(float(overlap_fraction), 0.0), 1.0)
+    finish = 0.0
+    accounted = 0.0
+    for st in bucket_stats:
+        frac = min(max(st.release_frac, 0.0), 1.0)
+        release = compute_time * (1.0 - f * (1.0 - frac))
+        finish = max(finish, release) + st.comm_time
+        accounted += st.comm_time
+    unattributed = max(0.0, total_comm_time - accounted)
+    return max(0.0, finish - compute_time) + unattributed
+
+
+# ---------------------------------------------------------------------------
+# The session itself
+# ---------------------------------------------------------------------------
+class ReduceSession:
+    """One bucketed gradient allreduce, fed by per-layer ``push`` calls.
+
+    Created by :meth:`GradientAllreduce.begin`.  Pushes must arrive in
+    push order (reverse layout order — the order backward emits layer
+    gradients), each segment exactly once; :meth:`finish` returns the
+    familiar :class:`AllreduceResult` with ``bucket_stats`` filled in.
+
+    Execution is SPMD-deterministic: all ranks share the model layout, so
+    they push the same segment sequence and the native path's per-bucket
+    collectives match up across ranks.
+    """
+
+    def __init__(self, scheme: "GradientAllreduce", comm: "SimComm",
+                 layout: ParamLayout, t: int, *,
+                 bucket_size: Optional[int] = None):
+        if t < 1:
+            raise ValueError(f"iteration t must be >= 1, got {t}")
+        self.scheme = scheme
+        self.comm = comm
+        self.layout = layout
+        self.t = t
+        self.bucket_size = bucket_size
+        self._plan = layout.fuse(bucket_size)
+        self._native = bool(scheme.bucketable) and len(self._plan) > 1
+        # flattened push order + the bucket each position closes
+        self._sequence: List[ParamSegment] = [
+            seg for bucket in self._plan for seg in bucket]
+        self._closes: Dict[int, int] = {}
+        pos = 0
+        for b, bucket in enumerate(self._plan):
+            pos += len(bucket)
+            self._closes[pos - 1] = b
+        self._pos = 0
+        self._emitted = 0            # parameter mass pushed so far
+        # Allocated on first push (np.empty is enough: finish() requires
+        # every segment pushed, so every word is written before read);
+        # run_session adopts the caller's buffer instead.
+        self._acc: Optional[np.ndarray] = None
+        self._partials: List[tuple] = []      # (lo, hi, AllreduceResult)
+        self.bucket_stats: List[BucketStat] = []
+        self._finished = False
+        if self._native:
+            k_total = scheme.resolve_k(layout.n)
+            lengths = [sum(s.size for s in b) for b in self._plan]
+            self._bucket_k = (split_k(k_total, lengths)
+                              if scheme.sparse else [None] * len(self._plan))
+        comm.phase_times(reset=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbuckets(self) -> int:
+        return len(self._plan)
+
+    def push(self, segment: Union[ParamSegment, int],
+             grad: np.ndarray) -> None:
+        """Feed one segment's accumulated gradient (backward order)."""
+        if self._finished:
+            raise RuntimeError("push() after finish()")
+        if self._pos >= len(self._sequence):
+            raise ValueError("all segments already pushed")
+        expect = self._sequence[self._pos]
+        seg = (self.layout[segment] if isinstance(segment, (int, np.integer))
+               else segment)
+        if seg.index != expect.index:
+            raise ValueError(
+                f"out-of-order push: got segment {seg.index} "
+                f"({seg.name!r}), expected {expect.index} ({expect.name!r}) "
+                f"— sessions consume reverse layout (backward) order")
+        grad = np.asarray(grad, dtype=VALUE_DTYPE).ravel()
+        if grad.size != seg.size:
+            raise ValueError(
+                f"segment {seg.name!r} expects {seg.size} words, "
+                f"got {grad.size}")
+        if self._acc is None:
+            self._acc = np.empty(self.layout.n, dtype=VALUE_DTYPE)
+        acc = self._acc
+        if grad.ctypes.data != acc.ctypes.data + seg.offset * acc.itemsize:
+            # Skip the memcpy when the push is already a view of our
+            # accumulator (run_session adopts the caller's buffer).
+            acc[seg.sl] = grad
+        self._emitted += seg.size
+        bucket_idx = self._closes.get(self._pos)
+        self._pos += 1
+        if self._native and bucket_idx is not None:
+            self._run_bucket(bucket_idx)
+
+    def finish(self) -> "AllreduceResult":
+        """Complete the session; returns the merged AllreduceResult."""
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        if self._pos != len(self._sequence):
+            missing = [s.name for s in self._sequence[self._pos:]]
+            raise ValueError(f"session incomplete; missing {missing}")
+        self._finished = True
+        if self._native:
+            result = self._merge()
+        else:
+            result = self._delegate()
+        result.phase_times = self.comm.phase_times(reset=True)
+        result.bucket_stats = self.bucket_stats
+        return result
+
+    # ------------------------------------------------------------------
+    # Delegating adapter: one-shot reduce at finish (bit-identical)
+    # ------------------------------------------------------------------
+    def _delegate(self) -> "AllreduceResult":
+        comm = self.comm
+        clock0, recv0 = comm.clock, int(comm.net.words_recv[comm.rank])
+        result = self.scheme._reduce(comm, self._acc, self.t)
+        phases = comm.phase_times()
+        from .base import PHASE_COMM, PHASE_SPARSIFY
+        release = 0.0 if (self.scheme.overlap_from_start
+                          or result.overlappable) else 1.0
+        self.bucket_stats.append(BucketStat(
+            lo=0, hi=self.layout.n, nsegments=len(self.layout),
+            release_frac=release,
+            comm_time=phases.get(PHASE_COMM, 0.0),
+            sparsify_time=phases.get(PHASE_SPARSIFY, 0.0),
+            words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
+            selected=result.info.get(
+                "selected", result.info.get("selected_local")),
+            info={"delegated": True, "clock_delta": comm.clock - clock0},
+        ))
+        return result
+
+    # ------------------------------------------------------------------
+    # Native path: reduce each bucket eagerly as it completes
+    # ------------------------------------------------------------------
+    def _run_bucket(self, b: int) -> None:
+        from .base import PHASE_COMM, PHASE_SPARSIFY
+        comm = self.comm
+        bucket = self._plan[b]
+        lo = min(s.offset for s in bucket)
+        hi = max(s.end for s in bucket)
+        k_b = self._bucket_k[b]
+        phases0 = comm.phase_times()
+        recv0 = int(comm.net.words_recv[comm.rank])
+        res = self.scheme._reduce_bucket(comm, self._acc[lo:hi], self.t,
+                                         k=k_b)
+        phases1 = comm.phase_times()
+        release = (0.0 if self.scheme.overlap_from_start or res.overlappable
+                   else self._emitted / self.layout.n)
+        self._partials.append((lo, hi, res))
+        self.bucket_stats.append(BucketStat(
+            lo=lo, hi=hi, nsegments=len(bucket), release_frac=release,
+            k=k_b,
+            comm_time=(phases1.get(PHASE_COMM, 0.0)
+                       - phases0.get(PHASE_COMM, 0.0)),
+            sparsify_time=(phases1.get(PHASE_SPARSIFY, 0.0)
+                           - phases0.get(PHASE_SPARSIFY, 0.0)),
+            words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
+            selected=res.info.get("selected",
+                                  res.info.get("selected_local")),
+            info=dict(res.info),
+        ))
+
+    def _merge(self) -> "AllreduceResult":
+        from .base import AllreduceResult
+        n = self.layout.n
+        parts = sorted(self._partials, key=lambda p: p[0])
+        sparse = all(isinstance(res.update, COOVector)
+                     for _, _, res in parts)
+        if not sparse and any(isinstance(res.update, COOVector)
+                              for _, _, res in parts):
+            # No scheme mixes representations across buckets, and merging
+            # them would conflate "contributed everything" (dense) with
+            # sparse error feedback — refuse rather than guess.
+            raise TypeError(
+                f"{type(self.scheme).__name__} returned mixed sparse/"
+                "dense bucket updates; sessions require one representation")
+        if sparse:
+            idx = [ (res.update.indices.astype(INDEX_DTYPE) + INDEX_DTYPE(lo))
+                    for lo, _, res in parts if res.update.nnz]
+            val = [res.update.values for lo, _, res in parts
+                   if res.update.nnz]
+            update: Union[COOVector, np.ndarray] = COOVector(
+                n,
+                np.concatenate(idx) if idx else np.empty(0, INDEX_DTYPE),
+                np.concatenate(val) if val else np.empty(0, VALUE_DTYPE))
+        else:
+            dense = np.zeros(n, dtype=VALUE_DTYPE)
+            for lo, hi, res in parts:
+                dense[lo:hi] = res.update
+            update = dense
+        if any(res.contributed_indices is None for _, _, res in parts):
+            contributed: Optional[np.ndarray] = None
+        else:
+            pieces = [res.contributed_indices.astype(INDEX_DTYPE)
+                      + INDEX_DTYPE(lo)
+                      for lo, _, res in parts
+                      if res.contributed_indices.size]
+            contributed = (np.concatenate(pieces) if pieces
+                           else np.empty(0, INDEX_DTYPE))
+        selected = [st.selected for st in self.bucket_stats
+                    if st.selected is not None]
+        info: Dict[str, Any] = {
+            "nbuckets": self.nbuckets,
+            "bucket_k": list(self._bucket_k),
+        }
+        if selected:
+            info["selected"] = int(sum(selected))
+        if self.scheme.sparse and isinstance(update, COOVector):
+            info["output_nnz"] = update.nnz
+        return AllreduceResult(
+            update=update, contributed_indices=contributed, info=info,
+            overlappable=self.scheme.overlap_from_start)
+
+
+# ---------------------------------------------------------------------------
+# Convenience driver
+# ---------------------------------------------------------------------------
+def run_session(scheme: "GradientAllreduce", comm: "SimComm",
+                layout: ParamLayout, t: int, acc: np.ndarray, *,
+                bucket_size: Optional[int] = None) -> "AllreduceResult":
+    """Push a full accumulator through a session in backward order.
+
+    The streaming equivalent of ``scheme.reduce(comm, acc, t)`` — with the
+    default ``bucket_size=None`` it is bit-identical to it (results,
+    traffic counters, simulated makespans).
+    """
+    acc = np.ascontiguousarray(acc, dtype=VALUE_DTYPE)
+    if acc.ndim != 1:
+        raise ValueError("acc must be a flat gradient vector")
+    if acc.size != layout.n:
+        raise ValueError(
+            f"acc has {acc.size} words but layout covers {layout.n}")
+    session = scheme.begin(comm, layout, t, bucket_size=bucket_size)
+    # Adopt the already-assembled accumulator: the pushes below then
+    # alias it, so no per-segment copy happens (the schemes treat acc as
+    # read-only, same as the one-shot reduce path).
+    session._acc = acc
+    for seg in layout.push_order():
+        session.push(seg, acc[seg.sl])
+    return session.finish()

@@ -20,7 +20,12 @@ from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
 
 
 class TopkAAllreduce(GradientAllreduce):
+    # Stateless and position-independent, so sessions may run it natively
+    # per bucket: each bucket allgathers its own top-k_b (k split
+    # proportional to bucket length) and the union of bucket supports is
+    # the merged update.
     name = "topka"
+    bucketable = True
 
     def _reduce(self, comm: SimComm, acc: np.ndarray,
                 t: int) -> AllreduceResult:

@@ -148,11 +148,18 @@ PROXIES = {"vgg16": vgg_proxy, "lstm": lstm_proxy, "bert": bert_proxy,
 # ---------------------------------------------------------------------------
 def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
                  density: Optional[float] = 0.02,
+                 k: Optional[int] = None,
+                 bucket_size: Optional[int] = None,
                  scheme_kwargs: Optional[Dict[str, Any]] = None,
                  eval_every: int = 0, xi_every: int = 0,
                  network: Optional[NetworkModel] = None,
                  seed: int = 0) -> RunRecord:
-    """Run one scheme on P simulated ranks; returns rank 0's RunRecord."""
+    """Run one scheme on P simulated ranks; returns rank 0's RunRecord.
+
+    ``k`` overrides ``density`` as the sparsification budget;
+    ``bucket_size`` (words) turns on bucketed session execution with the
+    generic communication/backward overlap timeline.
+    """
 
     def worker(comm):
         train, test = proxy.make_splits()
@@ -164,7 +171,8 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
         cfg = TrainerConfig(
             iterations=iterations, scheme=scheme,
             scheme_kwargs=scheme_kwargs or {},
-            density=density, lr=proxy.lr, mode=proxy.mode,
+            density=density, k=k, bucket_size=bucket_size,
+            lr=proxy.lr, mode=proxy.mode,
             eval_every=eval_every, xi_every=xi_every)
         return Trainer(comm, model, loader, cfg, eval_fn=eval_fn).run()
 

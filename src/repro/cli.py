@@ -92,12 +92,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     proxy = PROXIES[args.workload]()
     rec = train_scheme(proxy, args.scheme, args.workers, args.iters,
-                       density=args.density,
+                       density=args.density, k=args.k,
+                       bucket_size=args.bucket_size,
                        eval_every=max(1, args.iters // 3),
                        network=proxy_network())
     bd = rec.mean_breakdown(skip=1)
+    budget = f"k={args.k}" if args.k is not None else f"density={args.density}"
     print(f"workload={args.workload} scheme={args.scheme} "
-          f"P={args.workers} iters={args.iters} density={args.density}")
+          f"P={args.workers} iters={args.iters} {budget}")
+    if args.bucket_size is not None:
+        nb = rec.records[-1].nbuckets
+        saved = sum(r.overlap_saved for r in rec.records)
+        print(f"  buckets    : {nb} (bucket_size={args.bucket_size} words), "
+              f"overlap hid {saved * 1e3:.3f} ms of comm")
     print(f"  first loss : {rec.losses[0]:.4f}")
     print(f"  final loss : {rec.losses[-1]:.4f}")
     print(f"  sim time   : {rec.total_time:.4f} s")
@@ -146,12 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
     sc.set_defaults(fn=_cmd_scaling)
 
     tr = sub.add_parser("train", help="train a proxy workload")
-    tr.add_argument("--workload", choices=["vgg16", "lstm", "bert"],
+    tr.add_argument("--workload",
+                    choices=["vgg16", "lstm", "bert", "perf_mlp"],
                     default="vgg16")
     tr.add_argument("--scheme", default="oktopk")
     tr.add_argument("--workers", type=int, default=4)
     tr.add_argument("--iters", type=int, default=12)
     tr.add_argument("--density", type=float, default=0.02)
+    tr.add_argument("--k", type=int, default=None,
+                    help="sparsification budget; overrides --density")
+    tr.add_argument("--bucket-size", type=int, default=None,
+                    help="fuse per-layer gradients into buckets of this "
+                         "many words (session-based allreduce with "
+                         "comm/backward overlap); default: one bucket")
     tr.set_defaults(fn=_cmd_train)
     return ap
 

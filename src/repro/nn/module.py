@@ -139,6 +139,9 @@ class FlatModel:
 
     Satisfies :class:`repro.train.TrainableModel`.  ``params_flat`` is the
     live storage of all layer weights (the optimizer mutates it in place).
+    ``layout`` names each parameter's segment of the flat vector so the
+    session-based allreduce (:meth:`repro.allreduce.GradientAllreduce.
+    begin`) can consume per-layer gradients in backward order.
     """
 
     def __init__(self, module: Module, loss: "Loss",
@@ -150,13 +153,27 @@ class FlatModel:
         n = sum(p.size for p in params)
         self._flat = np.empty(n, dtype=DTYPE)
         self._flat_grad = np.zeros(n, dtype=DTYPE)
+        self._segment_names: List[str] = []
+        self._segment_sizes: List[int] = []
+        self._layout = None
         ofs = 0
-        for p in params:
+        for i, p in enumerate(params):
             sl = slice(ofs, ofs + p.size)
             self._flat[sl] = p.data.ravel()
             p.data = self._flat[sl].reshape(p.data.shape)
             p.grad = self._flat_grad[sl].reshape(p.grad.shape)
+            self._segment_names.append(p.name or f"param{i}")
+            self._segment_sizes.append(p.size)
             ofs += p.size
+
+    @property
+    def layout(self):
+        """The flat vector's named parameter segments (ParamLayout)."""
+        if self._layout is None:
+            from ..allreduce.session import ParamLayout
+            self._layout = ParamLayout.from_sizes(self._segment_sizes,
+                                                  self._segment_names)
+        return self._layout
 
     # TrainableModel protocol -------------------------------------------
     @property

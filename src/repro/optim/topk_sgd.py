@@ -19,11 +19,12 @@ the paper compares the six schemes under an identical optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from ..allreduce.base import AllreduceResult, GradientAllreduce
+from ..allreduce.session import ParamLayout, run_session
 from ..comm import SimComm
 from ..sparse import COOVector
 from .lr_schedules import LRSchedule, as_schedule
@@ -43,6 +44,18 @@ class StepInfo:
         return self.result.phase_times
 
 
+def _session_or_reduce(allreduce: GradientAllreduce, comm: SimComm,
+                       acc: np.ndarray, t: int,
+                       layout: Optional[ParamLayout],
+                       bucket_size: Optional[int]) -> AllreduceResult:
+    """Run the allreduce: session-based when a layout is configured
+    (bit-identical to one-shot at the default ``bucket_size=None``)."""
+    if layout is not None:
+        return run_session(allreduce, comm, layout, t, acc,
+                           bucket_size=bucket_size)
+    return allreduce.reduce(comm, acc, t)
+
+
 def _apply_update(params: np.ndarray, update, scale: float) -> None:
     """``params -= scale * update`` for sparse or dense updates."""
     if isinstance(update, COOVector):
@@ -59,13 +72,23 @@ class TopkSGD:
         allreduce: the gradient reduction scheme (one instance per worker).
         lr: learning rate or schedule (the paper's ``alpha``).
         n: number of model parameters (residual buffer size).
+        layout: when given, steps run through the session-based bucketed
+            allreduce (``allreduce.begin`` + per-segment pushes in
+            backward order) instead of the one-shot ``reduce``; with the
+            default ``bucket_size=None`` the two are bit-identical.
+        bucket_size: bucket-fusion threshold in words (see
+            :mod:`repro.allreduce.session`).
     """
 
-    def __init__(self, allreduce: GradientAllreduce, lr, n: int):
+    def __init__(self, allreduce: GradientAllreduce, lr, n: int, *,
+                 layout: Optional[ParamLayout] = None,
+                 bucket_size: Optional[int] = None):
         self.allreduce = allreduce
         self.lr: LRSchedule = as_schedule(lr)
         self.residual = np.zeros(n, dtype=np.float32)
         self.t = 0
+        self.layout = layout
+        self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
              grad: np.ndarray) -> StepInfo:
@@ -73,7 +96,8 @@ class TopkSGD:
         self.t += 1
         lr = self.lr(self.t)
         acc = self.residual + lr * grad.astype(np.float32, copy=False)
-        result = self.allreduce.reduce(comm, acc, self.t)
+        result = _session_or_reduce(self.allreduce, comm, acc, self.t,
+                                    self.layout, self.bucket_size)
         # residual update: keep what did not contribute
         self.residual = acc
         if result.contributed_indices is None:
@@ -94,17 +118,22 @@ class SparseOptimWrapper:
     sparse update as its gradient estimate.
     """
 
-    def __init__(self, allreduce: GradientAllreduce, inner: Any, n: int):
+    def __init__(self, allreduce: GradientAllreduce, inner: Any, n: int, *,
+                 layout: Optional[ParamLayout] = None,
+                 bucket_size: Optional[int] = None):
         self.allreduce = allreduce
         self.inner = inner
         self.residual = np.zeros(n, dtype=np.float32)
         self.t = 0
+        self.layout = layout
+        self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
              grad: np.ndarray) -> StepInfo:
         self.t += 1
         acc = self.residual + grad.astype(np.float32, copy=False)
-        result = self.allreduce.reduce(comm, acc, self.t)
+        result = _session_or_reduce(self.allreduce, comm, acc, self.t,
+                                    self.layout, self.bucket_size)
         self.residual = acc
         if result.contributed_indices is None:
             self.residual = np.zeros_like(acc)

@@ -17,12 +17,17 @@ class IterationRecord:
     lr: float
     compute_time: float
     sparsify_time: float
-    comm_time: float
-    iteration_time: float          # with DenseOvlp overlap credit applied
+    comm_time: float               # raw communication time (no overlap)
+    iteration_time: float          # with the overlap credit applied
     words_recv: int = 0
     selected: Optional[int] = None
     xi: Optional[float] = None
     eval_metrics: Optional[Dict[str, float]] = None
+    #: communication hidden behind backward compute by the generic
+    #: bucketed-overlap timeline (``comm_time - visible communication``)
+    overlap_saved: float = 0.0
+    #: session buckets the allreduce ran in (1 = one-shot equivalent)
+    nbuckets: int = 1
 
 
 @dataclass
@@ -90,8 +95,9 @@ class RunRecord:
             w = csv.writer(fh)
             w.writerow(["t", "cum_time", "loss", "lr", "compute_time",
                         "sparsify_time", "comm_time", "iteration_time",
-                        "selected", "xi"])
+                        "overlap_saved", "nbuckets", "selected", "xi"])
             for i, r in enumerate(self.records):
                 w.writerow([r.t, times[i], r.loss, r.lr, r.compute_time,
                             r.sparsify_time, r.comm_time,
-                            r.iteration_time, r.selected, r.xi])
+                            r.iteration_time, r.overlap_saved, r.nbuckets,
+                            r.selected, r.xi])

@@ -8,11 +8,19 @@ Each rank runs :class:`Trainer` inside an SPMD program (see
    time from the model's FLOP estimate,
 3. distributed optimizer step — Algorithm 2 (``TopkSGD``) or the
    error-feedback wrapper around Adam (the paper's BERT mode) — which runs
-   the configured allreduce scheme and charges sparsification +
-   communication time,
-4. record the per-phase breakdown; for overlappable schemes (DenseOvlp)
-   the iteration time credits communication overlapped with backward
-   (``overlap_backward_fraction`` of compute).
+   the configured allreduce scheme through a bucketed
+   :class:`~repro.allreduce.ReduceSession` (per-layer gradients pushed in
+   backward order; ``bucket_size`` configures the fusion policy, and the
+   default ``None`` is bit-identical to the one-shot ``reduce``) and
+   charges sparsification + communication time,
+4. record the per-phase breakdown with the *generic* overlap timeline:
+   each bucket's communication overlaps the backward compute still
+   outstanding when the bucket was pushed
+   (:func:`repro.allreduce.visible_comm_time`;
+   ``overlap_backward_fraction`` bounds the overlappable share of
+   compute).  DenseOvlp's legacy credit ``max(0, comm - f * compute)``
+   falls out of the same timeline (its buckets release at the start of
+   backward); bucketed sparse schemes gain overlap the same way.
 
 Evaluation and ξ measurement are diagnostics and do not consume simulated
 time (the paper also excludes them from the runtime-per-iteration bars).
@@ -25,7 +33,7 @@ from typing import Any, Callable, Dict, Optional, Protocol
 
 import numpy as np
 
-from ..allreduce import make_allreduce
+from ..allreduce import ParamLayout, make_allreduce, visible_comm_time
 from ..comm import SimComm
 from ..errors import ConfigError
 from ..optim import Adam, SparseOptimWrapper, TopkSGD
@@ -34,7 +42,12 @@ from .xi import measure_xi
 
 
 class TrainableModel(Protocol):
-    """What the trainer needs from a model (see repro.nn.FlatModel)."""
+    """What the trainer needs from a model (see repro.nn.FlatModel).
+
+    Models may additionally expose a ``layout`` property (a
+    :class:`repro.allreduce.ParamLayout` of named parameter segments);
+    the trainer falls back to a single-segment layout otherwise.
+    """
 
     @property
     def nparams(self) -> int: ...
@@ -70,12 +83,17 @@ class TrainerConfig:
     eval_every: int = 0
     xi_every: int = 0
     overlap_backward_fraction: float = 2.0 / 3.0
+    #: bucket-fusion threshold in words for the session-based allreduce;
+    #: None = one bucket (bit-identical to the one-shot reduce)
+    bucket_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
             raise ConfigError("iterations must be >= 1")
         if self.mode not in ("sgd", "adam"):
             raise ConfigError(f"unknown mode {self.mode!r}")
+        if self.bucket_size is not None and self.bucket_size < 1:
+            raise ConfigError("bucket_size must be >= 1")
 
 
 DENSE_SCHEMES = {"dense", "dense_ovlp"}
@@ -104,14 +122,21 @@ class Trainer:
         self.eval_fn = eval_fn
         self.allreduce = build_allreduce(cfg)
         n = model.nparams
+        layout = getattr(model, "layout", None)
+        if layout is None:
+            layout = ParamLayout.single(n)
+        self.layout = layout
         if cfg.mode == "adam":
             inner = Adam(lr=cfg.lr, beta1=cfg.adam_beta1,
                          beta2=cfg.adam_beta2,
                          weight_decay=cfg.weight_decay)
-            self.driver = SparseOptimWrapper(self.allreduce, inner, n)
+            self.driver = SparseOptimWrapper(self.allreduce, inner, n,
+                                             layout=layout,
+                                             bucket_size=cfg.bucket_size)
             self._alpha_for_xi = 1.0
         else:
-            self.driver = TopkSGD(self.allreduce, cfg.lr, n)
+            self.driver = TopkSGD(self.allreduce, cfg.lr, n, layout=layout,
+                                  bucket_size=cfg.bucket_size)
             self._alpha_for_xi = None  # use the schedule value per step
         self.record = RunRecord(scheme=cfg.scheme, p=comm.size)
 
@@ -139,7 +164,14 @@ class Trainer:
 
             sparsify = res.sparsify_time
             comm_t = max(0.0, step_time - sparsify)
-            if res.overlappable:
+            if res.bucket_stats is not None:
+                # Generic timeline: replay the buckets' communication
+                # against their backward-release times.
+                visible_comm = visible_comm_time(
+                    res.bucket_stats, compute_time,
+                    cfg.overlap_backward_fraction, comm_t)
+            elif res.overlappable:
+                # Legacy one-shot path (direct reduce, no session).
                 credit = cfg.overlap_backward_fraction * compute_time
                 visible_comm = max(0.0, comm_t - credit)
             else:
@@ -154,6 +186,8 @@ class Trainer:
                 selected=res.info.get("selected",
                                       res.info.get("selected_local")),
                 xi=xi,
+                overlap_saved=max(0.0, comm_t - visible_comm),
+                nbuckets=res.nbuckets,
             )
             if cfg.eval_every and self.eval_fn is not None and (
                     t % cfg.eval_every == 0 or t == cfg.iterations):

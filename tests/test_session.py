@@ -1,0 +1,470 @@
+"""Session-based bucketed allreduce: layout/fusion units, session vs
+one-shot bit-identity (results, traffic, makespans) for every scheme under
+both runners, native per-bucket paths, and the generic overlap timeline
+(DenseOvlp legacy reproduction + comm-bound sparse overlap wins)."""
+
+import numpy as np
+import pytest
+
+from repro.allreduce import (
+    PAPER_ORDER,
+    BucketStat,
+    ParamLayout,
+    make_allreduce,
+    run_session,
+    split_k,
+    visible_comm_time,
+)
+from repro.comm import NetworkModel, run_spmd
+from repro.errors import ConfigError
+from repro.sparse import COOVector
+
+RUNNERS = ("coop", "threads")
+
+#: scheme name -> constructor kwargs beyond the k/density budget
+SCHEME_KWARGS = {
+    "oktopk": {"tau": 2, "tau_prime": 2},
+    "oktopk_q": {"tau": 2, "tau_prime": 2, "stochastic": False},
+    "topka_q": {"stochastic": False},
+}
+ALL_SCHEMES = PAPER_ORDER + ["topka_q", "oktopk_q"]
+
+
+def _make(scheme, n, density=0.1):
+    kwargs = dict(SCHEME_KWARGS.get(scheme, {}))
+    if scheme not in ("dense", "dense_ovlp"):
+        kwargs["density"] = density
+    return make_allreduce(scheme, **kwargs)
+
+
+def _layout(n):
+    """An uneven multi-segment layout covering n words."""
+    sizes = [n // 4, n // 8, n // 2 - n // 8, n - n // 4 - n // 2]
+    return ParamLayout.from_sizes(sizes, ["head", "norm", "body", "tail"])
+
+
+def _acc(rank, n, t):
+    rng = np.random.default_rng(1000 * rank + t)
+    return rng.normal(size=n).astype(np.float32)
+
+
+# ---------------------------------------------------------------------------
+# ParamLayout / fusion / split_k units
+# ---------------------------------------------------------------------------
+class TestParamLayout:
+    def test_from_sizes_offsets_and_names(self):
+        lay = ParamLayout.from_sizes([3, 5, 2], ["a", "b", "c"])
+        assert lay.n == 10 and len(lay) == 3
+        assert [s.offset for s in lay] == [0, 3, 8]
+        assert [s.name for s in lay] == ["a", "b", "c"]
+        assert lay[1].sl == slice(3, 8)
+
+    def test_single(self):
+        lay = ParamLayout.single(7)
+        assert lay.n == 7 and len(lay) == 1
+
+    def test_push_order_is_reverse(self):
+        lay = ParamLayout.from_sizes([3, 5, 2])
+        assert [s.index for s in lay.push_order()] == [2, 1, 0]
+
+    def test_fuse_none_is_one_bucket(self):
+        lay = ParamLayout.from_sizes([3, 5, 2])
+        plan = lay.fuse(None)
+        assert len(plan) == 1 and len(plan[0]) == 3
+
+    def test_fuse_closes_at_threshold(self):
+        lay = ParamLayout.from_sizes([30, 50, 20])
+        plan = lay.fuse(40)
+        # push order: 20, 50, 30 -> bucket [20+50], bucket [30]
+        assert [[s.size for s in b] for b in plan] == [[20, 50], [30]]
+
+    def test_fuse_tiny_bucket_is_per_segment(self):
+        lay = ParamLayout.from_sizes([30, 50, 20])
+        plan = lay.fuse(1)
+        assert [[s.size for s in b] for b in plan] == [[20], [50], [30]]
+
+    def test_bad_layout_rejected(self):
+        from repro.allreduce import ParamSegment
+        with pytest.raises(ConfigError):
+            ParamLayout([ParamSegment(0, "a", 4, 3)])  # offset gap
+        with pytest.raises(ConfigError):
+            ParamLayout([])
+
+    def test_fuse_bad_bucket_size(self):
+        with pytest.raises(ConfigError):
+            ParamLayout.single(8).fuse(0)
+
+
+class TestSplitK:
+    def test_sums_to_k_and_proportional(self):
+        ks = split_k(100, [500, 300, 200])
+        assert sum(ks) == 100
+        assert ks == [50, 30, 20]
+
+    def test_largest_remainder(self):
+        ks = split_k(8, [3, 3, 4])
+        assert sum(ks) == 8 and all(k >= 1 for k in ks)
+
+    def test_each_at_least_one_when_k_allows(self):
+        ks = split_k(4, [1000, 1, 1, 1])
+        assert sum(ks) == 4 and min(ks) == 1
+
+    def test_k_capped_at_total_length(self):
+        assert sum(split_k(50, [10, 10])) == 20
+
+    def test_deterministic(self):
+        assert split_k(7, [33, 33, 34]) == split_k(7, [33, 33, 34])
+
+
+# ---------------------------------------------------------------------------
+# Session vs one-shot: bit-identical results, traffic and makespans
+# ---------------------------------------------------------------------------
+def _run_mode(scheme, p, n, iters, mode, runner, bucket_size=None):
+    """Run `iters` reductions; returns (dense updates, stats, clocks)."""
+    lay = _layout(n)
+
+    def prog(comm):
+        algo = _make(scheme, n)
+        outs = []
+        for t in range(1, iters + 1):
+            acc = _acc(comm.rank, n, t)
+            if mode == "oneshot":
+                res = algo.reduce(comm, acc, t)
+            else:
+                res = run_session(algo, comm, lay, t, acc,
+                                  bucket_size=bucket_size)
+            outs.append(res.update_dense(n).copy())
+        return outs
+
+    spmd = run_spmd(p, prog, runner=runner)
+    clocks = [spmd.network.clocks[r] for r in range(p)]
+    return spmd[0], spmd.stats, clocks
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_session_bit_identical_to_oneshot(scheme):
+    """Default sessions (bucket_size=None) == one-shot reduce, bitwise."""
+    p, n, iters = 4, 256, 3
+    ref, ref_stats, ref_clocks = _run_mode(scheme, p, n, iters,
+                                           "oneshot", "coop")
+    for runner in RUNNERS:
+        got, stats, clocks = _run_mode(scheme, p, n, iters,
+                                       "session", runner)
+        for t in range(iters):
+            assert np.array_equal(ref[t], got[t]), (scheme, runner, t)
+        assert np.array_equal(ref_stats.words_sent, stats.words_sent)
+        assert np.array_equal(ref_stats.words_recv, stats.words_recv)
+        assert np.array_equal(ref_stats.msgs_sent, stats.msgs_sent)
+        assert clocks == ref_clocks, (scheme, runner)
+
+
+@pytest.mark.parametrize("scheme", ["oktopk", "oktopk_q"])
+def test_non_bucketable_session_ignores_bucket_size(scheme):
+    """Non-bucketable schemes delegate even with bucket_size set —
+    still bit-identical to one-shot."""
+    p, n, iters = 4, 256, 3
+    ref, ref_stats, ref_clocks = _run_mode(scheme, p, n, iters,
+                                           "oneshot", "coop")
+    got, stats, clocks = _run_mode(scheme, p, n, iters, "session",
+                                   "coop", bucket_size=64)
+    for t in range(iters):
+        assert np.array_equal(ref[t], got[t])
+    assert np.array_equal(ref_stats.words_recv, stats.words_recv)
+    assert clocks == ref_clocks
+
+
+def test_bucketed_identical_across_runners():
+    """The native multi-bucket path is runner-independent (results,
+    traffic, makespans) like everything else in the simulator."""
+    p, n, iters = 4, 256, 2
+    base = None
+    for runner in RUNNERS:
+        got = _run_mode("topka", p, n, iters, "session", runner,
+                        bucket_size=64)
+        if base is None:
+            base = got
+        else:
+            for t in range(iters):
+                assert np.array_equal(base[0][t], got[0][t])
+            assert np.array_equal(base[1].words_recv, got[1].words_recv)
+            assert base[2] == got[2]
+
+
+# ---------------------------------------------------------------------------
+# Native per-bucket execution
+# ---------------------------------------------------------------------------
+class TestNativeBucketed:
+    def test_dense_bucketed_matches_oneshot_sum(self):
+        p, n = 4, 256
+        lay = _layout(n)
+
+        def prog(comm):
+            acc = _acc(comm.rank, n, 1)
+            res = run_session(make_allreduce("dense"), comm, lay, 1, acc,
+                              bucket_size=64)
+            return acc, res
+
+        results = run_spmd(p, prog)
+        total = np.sum([acc for acc, _ in results], axis=0)
+        for _, res in results:
+            assert res.contributed_indices is None
+            assert res.nbuckets > 1
+            np.testing.assert_allclose(res.update, total, rtol=1e-4,
+                                       atol=1e-4)
+
+    def test_topka_bucketed_k_split_and_sorted_output(self):
+        p, n, k = 4, 256, 32
+        lay = _layout(n)
+
+        def prog(comm):
+            algo = make_allreduce("topka", k=k)
+            acc = _acc(comm.rank, n, 1)
+            return run_session(algo, comm, lay, 1, acc, bucket_size=64)
+
+        res = run_spmd(p, prog)[0]
+        assert isinstance(res.update, COOVector)
+        res.update.validate()          # sorted, in-range, right dtypes
+        assert sum(res.info["bucket_k"]) == k
+        assert res.info["selected"] == k        # each rank selects k total
+        # contributed indices sorted ascending across bucket boundaries
+        contrib = res.contributed_indices
+        assert np.all(np.diff(contrib) > 0)
+        stats = res.bucket_stats
+        assert [st.k for st in stats] == res.info["bucket_k"]
+        # push order: bucket offsets descend (backward emits tail first)
+        assert [st.lo for st in stats] == sorted(
+            (st.lo for st in stats), reverse=True)
+
+    def test_release_fractions_monotone(self):
+        p, n = 2, 256
+        lay = _layout(n)
+
+        def prog(comm):
+            algo = make_allreduce("topka", density=0.1)
+            return run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                               bucket_size=32)
+
+        res = run_spmd(p, prog)[0]
+        fracs = [st.release_frac for st in res.bucket_stats]
+        assert all(0.0 < f <= 1.0 for f in fracs)
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_dense_ovlp_bucketed_matches_dense_traffic(self):
+        """DenseOvlp under a session is exactly dense + bucketing on the
+        wire; only its overlap contract (release 0.0) differs."""
+        p, n = 4, 256
+
+        def prog(comm, scheme):
+            lay = _layout(n)
+            algo = make_allreduce(scheme)
+            return run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                               bucket_size=64)
+
+        dense = run_spmd(p, prog, "dense")
+        ovlp = run_spmd(p, prog, "dense_ovlp")
+        assert np.array_equal(dense.stats.words_recv,
+                              ovlp.stats.words_recv)
+        assert [dense.network.clocks[r] for r in range(p)] == \
+               [ovlp.network.clocks[r] for r in range(p)]
+        np.testing.assert_array_equal(dense[0].update, ovlp[0].update)
+        assert all(st.release_frac == 0.0
+                   for st in ovlp[0].bucket_stats)
+        assert all(st.release_frac > 0.0
+                   for st in dense[0].bucket_stats)
+
+    @pytest.mark.parametrize("scheme", ["topka", "topka_q", "gtopk",
+                                        "gaussiank", "topkdsa"])
+    def test_zero_k_buckets_tolerated(self, scheme):
+        """k < nbuckets leaves some buckets with a zero budget; every
+        bucketable sparse scheme must select nothing there, not crash."""
+        p, n = 2, 256
+        lay = _layout(n)
+
+        def prog(comm):
+            kwargs = dict(SCHEME_KWARGS.get(scheme, {}))
+            algo = make_allreduce(scheme, k=1, **kwargs)
+            return run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                               bucket_size=16)
+
+        res = run_spmd(p, prog)[0]
+        assert sum(res.info["bucket_k"]) == 1
+        assert res.update.nnz >= 1
+
+    def test_push_order_enforced(self):
+        lay = ParamLayout.from_sizes([4, 4])
+
+        def prog(comm):
+            algo = make_allreduce("topka", k=2)
+            sess = algo.begin(comm, lay, 1)
+            with pytest.raises(ValueError):
+                sess.push(lay[0], np.zeros(4, np.float32))  # forward order
+            sess.push(lay[1], np.zeros(4, np.float32))
+            with pytest.raises(ValueError):
+                sess.finish()  # incomplete
+            sess.push(lay[0], np.zeros(4, np.float32))
+            return sess.finish()
+
+        run_spmd(1, prog)
+
+
+# ---------------------------------------------------------------------------
+# Overlap timeline
+# ---------------------------------------------------------------------------
+def _stat(release, comm):
+    return BucketStat(lo=0, hi=1, nsegments=1, release_frac=release,
+                      comm_time=comm)
+
+
+class TestVisibleCommTime:
+    def test_single_full_release_no_credit(self):
+        assert visible_comm_time([_stat(1.0, 5.0)], 2.0, 2 / 3, 5.0) == 5.0
+
+    def test_release_zero_reproduces_legacy_credit(self):
+        # comm-bound: visible = comm - f*compute
+        f, c, comm = 2 / 3, 3.0, 10.0
+        got = visible_comm_time([_stat(0.0, comm)], c, f, comm)
+        assert got == pytest.approx(comm - f * c)
+        # compute-bound: fully hidden
+        assert visible_comm_time([_stat(0.0, 1.0)], 3.0, f, 1.0) == 0.0
+
+    def test_multi_bucket_release_zero_equals_legacy_any_regime(self):
+        f, c = 0.5, 4.0
+        for comms in ([0.5, 0.5, 0.5], [3.0, 3.0], [0.1, 5.0]):
+            stats = [_stat(0.0, x) for x in comms]
+            got = visible_comm_time(stats, c, f, sum(comms))
+            assert got == pytest.approx(max(0.0, sum(comms) - f * c))
+
+    def test_unattributed_comm_never_overlapped(self):
+        got = visible_comm_time([_stat(0.0, 1.0)], 10.0, 1.0, 4.0)
+        assert got == pytest.approx(3.0)  # 1.0 hidden, 3.0 unattributed
+
+    def test_progressive_releases_chain(self):
+        # two buckets, second released mid-backward; serialized comms
+        stats = [_stat(0.5, 2.0), _stat(1.0, 2.0)]
+        c, f = 4.0, 1.0
+        # T1 = 2.0, finish1 = 4.0; T2 = 4.0, finish2 = 6.0 -> visible 2.0
+        assert visible_comm_time(stats, c, f, 4.0) == pytest.approx(2.0)
+
+    def test_no_stats_passthrough(self):
+        assert visible_comm_time(None, 1.0, 0.5, 7.0) == 7.0
+        assert visible_comm_time([], 1.0, 0.5, 7.0) == 7.0
+
+
+# ---------------------------------------------------------------------------
+# Trainer integration: generic overlap
+# ---------------------------------------------------------------------------
+def _train(scheme, p=2, iters=3, bucket_size=None, net=None, **cfg_kwargs):
+    from repro.data import ShardedLoader, make_cifar_like
+    from repro.nn.activation import ReLU
+    from repro.nn.linear import Linear
+    from repro.nn.losses import SoftmaxCrossEntropy
+    from repro.nn.module import FlatModel, Flatten, Sequential
+    from repro.train import Trainer, TrainerConfig
+
+    def prog(comm):
+        rng = np.random.default_rng(5)
+        # several equal-width layers -> meaningful bucket release times
+        mod = Sequential(Flatten(),
+                         Linear(48, 32, rng=rng), ReLU(),
+                         Linear(32, 32, rng=rng), ReLU(),
+                         Linear(32, 32, rng=rng), ReLU(),
+                         Linear(32, 10, rng=rng))
+        model = FlatModel(mod, SoftmaxCrossEntropy(),
+                          flops_per_sample=2.0 * 48 * 32 * 3)
+        train, _ = make_cifar_like(32, 8, image_size=4, noise=0.5, seed=0)
+        loader = ShardedLoader(train, 8, comm.rank, comm.size, seed=1)
+        cfg = TrainerConfig(iterations=iters, scheme=scheme, lr=0.05,
+                            density=0.05, bucket_size=bucket_size,
+                            **cfg_kwargs)
+        return Trainer(comm, model, loader, cfg).run()
+
+    return run_spmd(p, prog, model=net)[0]
+
+
+COMM_BOUND_NET = NetworkModel(alpha=5e-6, beta=5e-7, flop_time=2e-10)
+
+
+class TestTrainerOverlap:
+    def test_flat_model_layout_segments(self):
+        from repro.nn.linear import Linear
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.module import FlatModel, Sequential
+
+        rng = np.random.default_rng(0)
+        fm = FlatModel(Sequential(Linear(4, 3, rng=rng),
+                                  Linear(3, 2, rng=rng)),
+                       SoftmaxCrossEntropy())
+        lay = fm.layout
+        assert lay.n == fm.nparams
+        assert len(lay) == 4  # two weights + two biases
+        assert all("Linear" in s.name for s in lay)
+
+    def test_dense_one_shot_default_no_credit(self):
+        rec = _train("dense", net=COMM_BOUND_NET)
+        for r in rec.records:
+            assert r.overlap_saved == 0.0
+            assert r.iteration_time == pytest.approx(
+                r.compute_time + r.sparsify_time + r.comm_time)
+
+    def test_dense_ovlp_credit_matches_legacy_formula(self):
+        """The generic timeline reproduces the legacy DenseOvlp special
+        case exactly: visible comm = max(0, comm - f*compute)."""
+        f = 0.7
+        for bs in (None, 24):
+            rec = _train("dense_ovlp", net=COMM_BOUND_NET, bucket_size=bs,
+                         overlap_backward_fraction=f)
+            for r in rec.records:
+                legacy = (r.compute_time + r.sparsify_time
+                          + max(0.0, r.comm_time - f * r.compute_time))
+                assert r.iteration_time == pytest.approx(legacy, rel=1e-9)
+                assert r.overlap_saved > 0.0
+
+    def test_dense_ovlp_session_equals_dense_bucketed_traffic(self):
+        """DenseOvlp == dense + bucketing: same comm volume per record."""
+        a = _train("dense_ovlp", net=COMM_BOUND_NET, bucket_size=24)
+        b = _train("dense", net=COMM_BOUND_NET, bucket_size=24)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.words_recv == rb.words_recv
+            assert ra.comm_time == pytest.approx(rb.comm_time)
+            assert ra.nbuckets == rb.nbuckets > 1
+            # ovlp overlaps from backward start -> at least as much hidden
+            assert ra.overlap_saved >= rb.overlap_saved
+
+    def test_comm_bound_sparse_gains_overlap_from_bucketing(self):
+        """A comm-bound sparse configuration gets faster iterations from
+        the generic overlap (the acceptance-criterion scenario)."""
+        one_shot = _train("topka", net=COMM_BOUND_NET, bucket_size=None)
+        bucketed = _train("topka", net=COMM_BOUND_NET, bucket_size=1100)
+        assert all(r.nbuckets > 1 for r in bucketed.records)
+        assert all(r.overlap_saved > 0.0 for r in bucketed.records)
+        assert bucketed.total_time < one_shot.total_time
+        assert np.isfinite(bucketed.losses).all()
+
+    def test_sparse_one_shot_unchanged_by_session_path(self):
+        """bucket_size=None through the trainer == the pre-session
+        behavior: no credit, comm fully visible."""
+        rec = _train("topka", net=COMM_BOUND_NET)
+        for r in rec.records:
+            assert r.nbuckets == 1
+            assert r.overlap_saved == 0.0
+
+
+# ---------------------------------------------------------------------------
+# CLI smoke for the new flags
+# ---------------------------------------------------------------------------
+class TestCliBucketed:
+    def test_train_bucket_size_and_k(self, capsys):
+        from repro.cli import main
+        assert main(["train", "--workload", "perf_mlp", "--scheme",
+                     "topka", "--workers", "2", "--iters", "3",
+                     "--k", "256", "--bucket-size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "k=256" in out
+        assert "buckets" in out
+
+    def test_train_perf_mlp_default(self, capsys):
+        from repro.cli import main
+        assert main(["train", "--workload", "perf_mlp", "--workers", "2",
+                     "--iters", "2"]) == 0
+        assert "final loss" in capsys.readouterr().out
