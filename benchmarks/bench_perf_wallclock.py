@@ -64,14 +64,17 @@ def _min_time(fn, reps: int) -> float:
 # train_scheme timings
 # ---------------------------------------------------------------------------
 def time_train_scheme(p: int, scheme: str, runner: str, iters: int,
-                      reps: int, bucket_size: int | None = None) -> float:
+                      reps: int, bucket_size: int | None = None,
+                      overlap_mode: str = "analytic") -> float:
     proxy = perf_proxy()
 
     def run():
         os.environ["REPRO_SPMD_RUNNER"] = runner
         try:
             train_scheme(proxy, scheme, p, iters, density=0.02,
-                         bucket_size=bucket_size, network=proxy_network())
+                         bucket_size=bucket_size,
+                         overlap_mode=overlap_mode,
+                         network=proxy_network())
         finally:
             os.environ.pop("REPRO_SPMD_RUNNER", None)
 
@@ -171,6 +174,28 @@ def main(argv=None) -> int:
                               f"{entry['threads']:.3f}",
                               f"{entry['speedup_coop_vs_threads']:.2f}x"])
 
+    # Streaming sessions (--overlap-mode stream): the bucket reductions
+    # run on the simulated clock during backward (async regions, clock
+    # rewinds, per-segment compute pacing).  This row tracks the
+    # wall-clock overhead of the discrete-event machinery against the
+    # analytic replay on the identical workload.
+    stream_rows = []
+    results["train_scheme_stream"] = {}
+    for scheme in ("dense", "topka"):
+        entry = {}
+        for mode in ("analytic", "stream"):
+            entry[mode] = time_train_scheme(4, scheme, "coop",
+                                            train_iters, reps,
+                                            bucket_size=512,
+                                            overlap_mode=mode)
+        entry["overhead_stream_vs_analytic"] = (
+            entry["stream"] / entry["analytic"])
+        results["train_scheme_stream"][scheme] = {
+            "p": 4, "bucket_size": 512, **entry}
+        stream_rows.append([scheme, 4, f"{entry['analytic']:.3f}",
+                            f"{entry['stream']:.3f}",
+                            f"{entry['overhead_stream_vs_analytic']:.2f}x"])
+
     storm_rows = []
     for p, iters in storm_iters.items():
         entry = {r: time_storm(p, r, iters, reps) for r in RUNNERS}
@@ -192,6 +217,11 @@ def main(argv=None) -> int:
         ["scheme", "P", "coop (s)", "threads (s)", "speedup"],
         bucketed_rows,
         title="bucketed sessions (bucket_size=512, perf_mlp probe)"))
+    print()
+    print(format_table(
+        ["scheme", "P", "analytic (s)", "stream (s)", "overhead"],
+        stream_rows,
+        title="streaming sessions (--overlap-mode stream, coop runner)"))
     print()
     print(format_table(
         ["P", "coop (us/msg)", "threads (us/msg)", "speedup"],

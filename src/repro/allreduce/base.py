@@ -183,16 +183,21 @@ class GradientAllreduce(ABC):
     # Session API
     # ------------------------------------------------------------------
     def begin(self, comm: SimComm, layout: ParamLayout, t: int, *,
-              bucket_size: Optional[int] = None) -> ReduceSession:
+              bucket_size: Optional[int] = None,
+              stream: bool = False) -> ReduceSession:
         """Open a bucketed reduce session for one iteration.
 
         Push per-layer gradients in reverse layout (backward) order, then
         call ``finish()``.  ``bucket_size=None`` (one bucket) is bit
         identical to :meth:`reduce`; a multi-bucket plan uses the native
         per-bucket path when ``bucketable`` and the delegating adapter
-        otherwise.
+        otherwise.  ``stream=True`` issues each native bucket reduction
+        at the rank's current simulated time inside an async region
+        (discrete-event overlap; see :mod:`repro.allreduce.session`),
+        with ``finish()`` joining the outstanding completions.
         """
-        return ReduceSession(self, comm, layout, t, bucket_size=bucket_size)
+        return ReduceSession(self, comm, layout, t, bucket_size=bucket_size,
+                             stream=stream)
 
     def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
                        k: Optional[int] = None) -> AllreduceResult:

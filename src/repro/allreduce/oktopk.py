@@ -176,11 +176,15 @@ class OkTopkAllreduce(GradientAllreduce):
         prev_words = 0
         for bucket in buckets(steps, self.bucket_size):
             reqs = []
+            sends = []
             for step in bucket:
                 for src in step.recv_from:
                     reqs.append(comm.irecv(src, _TAG_SR))
                 for dst in step.send_to:
-                    reqs.append(comm.isend(pieces[dst], dst, _TAG_SR))
+                    sends.append((pieces[dst], dst, _TAG_SR))
+            # One egress-booking pass for the whole bucket's fan-out
+            # (bit-identical to per-message isend; see isend_batch).
+            reqs.extend(comm.isend_batch(sends))
             # Overlap: reduce the previous bucket while this one flies.
             if prev_words:
                 comm.compute_words(2 * prev_words)

@@ -43,6 +43,38 @@ the pieces of that execution model:
   ``overlap_from_start``, i.e. DenseOvlp) reproduces the legacy trainer
   credit ``max(0, comm - f * compute)`` exactly; ``release_frac = 1.0``
   (a one-shot reduction, which needs the full gradient) yields no credit.
+
+Streaming execution (``stream=True``)
+-------------------------------------
+
+The replay above is *accounting only*: on the simulated clock the bucket
+reductions still run after the backward lump, so their messages never
+contend with anything else during backward.  A session opened with
+``stream=True`` instead runs each native bucket reduction inside an
+:class:`repro.comm.AsyncRegion` **at the rank's current simulated time**:
+the caller charges backward compute incrementally between pushes (the
+trainer's pacer), so when a bucket's last segment arrives the clock *is*
+the bucket's release time, its messages book egress/ingress links right
+there — contending against any other traffic in flight — and the clock
+then rewinds to the backward timeline (the NIC progresses the reduction
+off the critical path).  :meth:`ReduceSession.finish` joins the
+outstanding bucket completions (``max`` over their comm-finish times) and
+only then charges the selection (sparsification) cost, mirroring the
+analytic convention that keeps sparsification serial.  Under zero
+contention — no foreign traffic, buckets spaced wider than their
+communication — the streamed timeline reproduces the analytic
+:func:`visible_comm_time` replay (same releases, same uncontended
+durations).  Under contention the two genuinely diverge, in either
+direction: links pipeline at message granularity (a bucket's first hop
+starts as soon as the egress link frees, before its predecessor's final
+delivery — earlier than the serial replay), but multi-round collectives
+interleaving on shared links also suffer head-of-line blocking the
+analytic model cannot see (a forwarding round waits on both its data
+dependency and a link busy with the other bucket), which can push the
+last finish past the idealized clean-link serial replay.  Resolving that
+is the whole point of running the events.  Per-bucket issue and
+comm-finish times land in ``BucketStat.info["t_issue"]`` /
+``["t_comm_finish"]``.
 """
 
 from __future__ import annotations
@@ -280,7 +312,7 @@ class ReduceSession:
 
     def __init__(self, scheme: "GradientAllreduce", comm: "SimComm",
                  layout: ParamLayout, t: int, *,
-                 bucket_size: Optional[int] = None):
+                 bucket_size: Optional[int] = None, stream: bool = False):
         if t < 1:
             raise ValueError(f"iteration t must be >= 1, got {t}")
         self.scheme = scheme
@@ -288,6 +320,11 @@ class ReduceSession:
         self.layout = layout
         self.t = t
         self.bucket_size = bucket_size
+        self.stream = bool(stream)
+        #: latest comm-finish time over async bucket reductions (stream)
+        self._outstanding = 0.0
+        #: selection time deferred off the async regions, charged at finish
+        self._deferred_sparsify = 0.0
         self._plan = layout.fuse(bucket_size)
         self._native = bool(scheme.bucketable) and len(self._plan) > 1
         # flattened push order + the bucket each position closes
@@ -353,7 +390,13 @@ class ReduceSession:
             self._run_bucket(bucket_idx)
 
     def finish(self) -> "AllreduceResult":
-        """Complete the session; returns the merged AllreduceResult."""
+        """Complete the session; returns the merged AllreduceResult.
+
+        In streaming mode this is where the rank *waits for outstanding
+        buckets*: the clock joins the latest in-flight comm-finish time,
+        then the deferred selection cost is charged (serial, mirroring
+        the analytic timeline's convention).
+        """
         if self._finished:
             raise RuntimeError("finish() called twice")
         if self._pos != len(self._sequence):
@@ -364,6 +407,10 @@ class ReduceSession:
             result = self._merge()
         else:
             result = self._delegate()
+        if self.stream:
+            self.comm._advance_clock(self._outstanding)
+            if self._deferred_sparsify > 0.0:
+                self.comm.compute(self._deferred_sparsify)
         result.phase_times = self.comm.phase_times(reset=True)
         result.bucket_stats = self.bucket_stats
         return result
@@ -395,31 +442,71 @@ class ReduceSession:
     # Native path: reduce each bucket eagerly as it completes
     # ------------------------------------------------------------------
     def _run_bucket(self, b: int) -> None:
-        from .base import PHASE_COMM, PHASE_SPARSIFY
+        from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult
         comm = self.comm
         bucket = self._plan[b]
         lo = min(s.offset for s in bucket)
         hi = max(s.end for s in bucket)
         k_b = self._bucket_k[b]
+        release = (0.0 if self.scheme.overlap_from_start
+                   else self._emitted / self.layout.n)
+        if k_b is not None and k_b == 0:
+            # split_k legally hands out zero-budget buckets when
+            # k < nbuckets, but resolve_k floors every reduction at one
+            # selected element — a scheme must never see k=0.  The bucket
+            # is skipped outright: nothing selected, nothing sent, an
+            # empty partial (deterministic across ranks, which all compute
+            # the same split).
+            res = AllreduceResult(
+                update=COOVector(hi - lo, np.empty(0, INDEX_DTYPE),
+                                 np.empty(0, VALUE_DTYPE)),
+                contributed_indices=np.empty(0, INDEX_DTYPE),
+                info={"k": 0, "selected": 0, "skipped_zero_k": True})
+            self._partials.append((lo, hi, res))
+            self.bucket_stats.append(BucketStat(
+                lo=lo, hi=hi, nsegments=len(bucket), release_frac=release,
+                k=0, selected=0, info=dict(res.info)))
+            return
         phases0 = comm.phase_times()
         recv0 = int(comm.net.words_recv[comm.rank])
-        res = self.scheme._reduce_bucket(comm, self._acc[lo:hi], self.t,
-                                         k=k_b)
+        if self.stream:
+            # Issue the reduction *now*, at the rank's mid-backward clock:
+            # its messages book (and contend for) links at this simulated
+            # time, while the rank's own timeline continues backward.
+            with comm.async_region() as region:
+                res = self.scheme._reduce_bucket(comm, self._acc[lo:hi],
+                                                 self.t, k=k_b)
+        else:
+            region = None
+            res = self.scheme._reduce_bucket(comm, self._acc[lo:hi], self.t,
+                                             k=k_b)
         phases1 = comm.phase_times()
-        release = (0.0 if self.scheme.overlap_from_start or res.overlappable
-                   else self._emitted / self.layout.n)
+        if res.overlappable:
+            release = 0.0
+        sparsify_t = (phases1.get(PHASE_SPARSIFY, 0.0)
+                      - phases0.get(PHASE_SPARSIFY, 0.0))
         self._partials.append((lo, hi, res))
+        info = dict(res.info)
+        if region is not None:
+            # The bucket's selection cost is deferred to finish() (the
+            # analytic timeline keeps sparsification serial), so the comm
+            # pipeline is treated as finishing that much earlier.
+            comm_finish = region.finish - sparsify_t
+            if comm_finish > self._outstanding:
+                self._outstanding = comm_finish
+            self._deferred_sparsify += sparsify_t
+            info["t_issue"] = region.issue
+            info["t_comm_finish"] = comm_finish
         self.bucket_stats.append(BucketStat(
             lo=lo, hi=hi, nsegments=len(bucket), release_frac=release,
             k=k_b,
             comm_time=(phases1.get(PHASE_COMM, 0.0)
                        - phases0.get(PHASE_COMM, 0.0)),
-            sparsify_time=(phases1.get(PHASE_SPARSIFY, 0.0)
-                           - phases0.get(PHASE_SPARSIFY, 0.0)),
+            sparsify_time=sparsify_t,
             words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
             selected=res.info.get("selected",
                                   res.info.get("selected_local")),
-            info=dict(res.info),
+            info=info,
         ))
 
     def _merge(self) -> "AllreduceResult":
@@ -479,12 +566,21 @@ class ReduceSession:
 # ---------------------------------------------------------------------------
 def run_session(scheme: "GradientAllreduce", comm: "SimComm",
                 layout: ParamLayout, t: int, acc: np.ndarray, *,
-                bucket_size: Optional[int] = None) -> "AllreduceResult":
+                bucket_size: Optional[int] = None,
+                pacer: Optional[Any] = None,
+                stream: Optional[bool] = None) -> "AllreduceResult":
     """Push a full accumulator through a session in backward order.
 
-    The streaming equivalent of ``scheme.reduce(comm, acc, t)`` — with the
+    The session equivalent of ``scheme.reduce(comm, acc, t)`` — with the
     default ``bucket_size=None`` it is bit-identical to it (results,
     traffic counters, simulated makespans).
+
+    ``pacer``, when given, is called with each :class:`ParamSegment` just
+    before its push; the trainer uses it to charge backward compute
+    incrementally so the simulated clock tracks the backward timeline
+    between pushes.  A pacer implies streaming execution (bucket
+    reductions issued on the clock mid-backward); pass ``stream``
+    explicitly to decouple the two.
     """
     acc = np.ascontiguousarray(acc, dtype=VALUE_DTYPE)
     if acc.ndim != 1:
@@ -492,11 +588,16 @@ def run_session(scheme: "GradientAllreduce", comm: "SimComm",
     if acc.size != layout.n:
         raise ValueError(
             f"acc has {acc.size} words but layout covers {layout.n}")
-    session = scheme.begin(comm, layout, t, bucket_size=bucket_size)
+    if stream is None:
+        stream = pacer is not None
+    session = scheme.begin(comm, layout, t, bucket_size=bucket_size,
+                           stream=stream)
     # Adopt the already-assembled accumulator: the pushes below then
     # alias it, so no per-segment copy happens (the schemes treat acc as
     # read-only, same as the one-shot reduce path).
     session._acc = acc
     for seg in layout.push_order():
+        if pacer is not None:
+            pacer(seg)
         session.push(seg, acc[seg.sl])
     return session.finish()

@@ -150,6 +150,7 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
                  density: Optional[float] = 0.02,
                  k: Optional[int] = None,
                  bucket_size: Optional[int] = None,
+                 overlap_mode: str = "analytic",
                  scheme_kwargs: Optional[Dict[str, Any]] = None,
                  eval_every: int = 0, xi_every: int = 0,
                  network: Optional[NetworkModel] = None,
@@ -158,7 +159,10 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
 
     ``k`` overrides ``density`` as the sparsification budget;
     ``bucket_size`` (words) turns on bucketed session execution with the
-    generic communication/backward overlap timeline.
+    generic communication/backward overlap timeline, and
+    ``overlap_mode="stream"`` runs the buckets on the simulated clock
+    during backward (discrete-event overlap) instead of replaying them
+    analytically.
     """
 
     def worker(comm):
@@ -172,6 +176,7 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
             iterations=iterations, scheme=scheme,
             scheme_kwargs=scheme_kwargs or {},
             density=density, k=k, bucket_size=bucket_size,
+            overlap_mode=overlap_mode,
             lr=proxy.lr, mode=proxy.mode,
             eval_every=eval_every, xi_every=xi_every)
         return Trainer(comm, model, loader, cfg, eval_fn=eval_fn).run()

@@ -94,12 +94,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     rec = train_scheme(proxy, args.scheme, args.workers, args.iters,
                        density=args.density, k=args.k,
                        bucket_size=args.bucket_size,
+                       overlap_mode=args.overlap_mode,
                        eval_every=max(1, args.iters // 3),
                        network=proxy_network())
     bd = rec.mean_breakdown(skip=1)
     budget = f"k={args.k}" if args.k is not None else f"density={args.density}"
     print(f"workload={args.workload} scheme={args.scheme} "
-          f"P={args.workers} iters={args.iters} {budget}")
+          f"P={args.workers} iters={args.iters} {budget} "
+          f"overlap={args.overlap_mode}")
     if args.bucket_size is not None:
         nb = rec.records[-1].nbuckets
         saved = sum(r.overlap_saved for r in rec.records)
@@ -166,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fuse per-layer gradients into buckets of this "
                          "many words (session-based allreduce with "
                          "comm/backward overlap); default: one bucket")
+    tr.add_argument("--overlap-mode", choices=["analytic", "stream"],
+                    default="analytic",
+                    help="comm/backward overlap model: 'analytic' replays "
+                         "bucket communication against release times after "
+                         "the fact (default); 'stream' runs bucket "
+                         "reductions on the simulated clock during "
+                         "backward (discrete-event overlap, contends with "
+                         "other traffic)")
     tr.set_defaults(fn=_cmd_train)
     return ap
 

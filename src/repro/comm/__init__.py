@@ -22,7 +22,7 @@ makespans are identical under both — see :mod:`repro.comm.launcher`.
 """
 
 from . import collectives
-from .communicator import SimComm
+from .communicator import AsyncRegion, SimComm
 from .engine import CoopEngine
 from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
 from .message import RecvRequest, Request, SendRequest
@@ -33,6 +33,7 @@ from .payload import nwords
 __all__ = [
     "collectives",
     "SimComm",
+    "AsyncRegion",
     "SpmdResult",
     "run_spmd",
     "resolve_runner",

@@ -137,6 +137,43 @@ def _view_with_loans(obj: Any, net: Network,
     return obj
 
 
+class AsyncRegion:
+    """Issue-at-time context for NIC-progressed (non-blocking) operations.
+
+    Code inside the region executes normally — messages book egress and
+    ingress links at the rank's current simulated clock, so they contend
+    with any other traffic — but on exit the rank's clock is rolled back
+    to the region's entry time (``issue``), modeling an operation handed
+    to the NIC while the rank's own timeline continues.  The region's
+    completion time is kept in ``finish``; callers that must wait for the
+    operation later advance the clock with
+    ``comm._advance_clock(region.finish)``.
+
+    This is the execution primitive of streaming sessions
+    (:mod:`repro.allreduce.session`): a bucket's reduction is issued
+    mid-backward at its release time and only :meth:`ReduceSession.finish`
+    joins the outstanding completions.  On an exception the clock is left
+    where it stopped (the abort path wants real times).
+    """
+
+    __slots__ = ("_comm", "issue", "finish")
+
+    def __init__(self, comm: "SimComm"):
+        self._comm = comm
+        self.issue = 0.0
+        self.finish = 0.0
+
+    def __enter__(self) -> "AsyncRegion":
+        self.issue = self._comm.clock
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish = self._comm.clock
+        if exc_type is None:
+            self._comm.rewind_clock(self.issue)
+        return False
+
+
 class SimComm:
     """Communicator bound to one rank of a :class:`Network`."""
 
@@ -164,6 +201,21 @@ class SimComm:
         if seconds < 0:
             raise ValueError("compute time must be >= 0")
         self.net.clocks[self.rank] += seconds
+
+    def rewind_clock(self, t: float) -> None:
+        """Set this rank's clock, allowing it to move *backwards*.
+
+        Only two callers may do this, both modeling work that proceeds off
+        the rank's critical path: :class:`AsyncRegion` (NIC-progressed
+        communication) and the ξ-measurement rollback.  Link occupancy and
+        traffic counters are never rewound here — a message posted after a
+        rewind still queues behind everything already booked.
+        """
+        self.net.clocks[self.rank] = t
+
+    def async_region(self) -> AsyncRegion:
+        """Open an :class:`AsyncRegion` (see its docstring)."""
+        return AsyncRegion(self)
 
     def compute_words(self, n: int) -> None:
         """Charge a local reduction over ``n`` words (gamma model)."""
@@ -244,6 +296,45 @@ class SimComm:
         self.compute(self.net.model.o_inject)
         return SendRequest(self, done, _message=msg)
 
+    def isend_batch(self, items: Sequence[Tuple[Any, int, int]],
+                    ) -> List[SendRequest]:
+        """Post a batch of non-blocking sends in one link-booking pass.
+
+        ``items`` is a sequence of ``(obj, dest, tag)`` tuples in program
+        order.  Bit-identical (clocks, link bookings, counters, payload
+        ownership) to calling :meth:`isend` once per tuple, but the egress
+        link is booked for the whole batch by one
+        :meth:`NetworkModel.serialize_batch` scan and the per-message
+        Python overhead is paid once — the fan-out shape of Ok-Topk's
+        split-and-reduce buckets and of eager per-bucket session
+        reductions.
+        """
+        if not items:
+            return []
+        net = self.net
+        coop = net.cooperative
+        batch: List[Tuple[int, int, Any, int]] = []
+        all_loans: List[List[int]] = []
+        for obj, dest, tag in items:
+            size = payload_nwords(obj)
+            loan_keys: List[int] = []
+            if coop:
+                payload = _view_with_loans(obj, net, loan_keys)
+            else:
+                payload = _freeze(obj)
+            all_loans.append(loan_keys)
+            batch.append((dest, tag, payload, size))
+        msgs, dones = net.post_batch(self.rank, batch, self.clock)
+        for msg, loan_keys in zip(msgs, all_loans):
+            if loan_keys:
+                msg.loans = tuple(loan_keys)
+        o_inject = net.model.o_inject
+        if o_inject:
+            for _ in msgs:
+                self.compute(o_inject)
+        return [SendRequest(self, float(done), _message=msg)
+                for msg, done in zip(msgs, dones)]
+
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from ``(source, tag)``."""
         msg = self._match_blocking(source, tag)
@@ -289,10 +380,16 @@ class SimComm:
         for r in recvs:
             msgs.append((self._match_blocking(r.source, r.tag), r))
         msgs.sort(key=lambda mr: (mr[0].t_first, mr[0].src, mr[0].seq))
-        for msg, req in msgs:
-            self._deliver(msg)
-            req._message = msg
-            req.completed = True
+        if msgs:
+            # One batched ingress-booking scan over the sorted arrivals
+            # (bit-identical to delivering them one by one); the clock
+            # advances to the last completion, which the serialization
+            # fold guarantees is the latest.
+            t_done = self.net.deliver_batch([m for m, _ in msgs])
+            self._advance_clock(t_done)
+            for msg, req in msgs:
+                req._message = msg
+                req.completed = True
         results: List[Any] = []
         for r in requests:
             if isinstance(r, RecvRequest):

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class NetworkModel:
@@ -95,3 +97,86 @@ class NetworkModel:
     def ptp_cost(self, nwords: int) -> float:
         """Cost of a single uncontended point-to-point message."""
         return self.alpha + self.beta * float(nwords)
+
+    # ------------------------------------------------------------------
+    # Batched link booking
+    # ------------------------------------------------------------------
+    def occupancy_scan(self, free: float, avail: np.ndarray,
+                       nwords: np.ndarray) -> np.ndarray:
+        """Closed-form link-occupancy scan over a message batch.
+
+        A link that was free at ``free`` serializes messages that become
+        available at ``avail[i]`` (sender clock for egress, ``t_first`` for
+        ingress) and occupy it for ``beta * nwords[i]`` seconds each::
+
+            end[i] = max(end[i-1], avail[i]) + beta * nwords[i]
+
+        evaluated here without a Python-level fold: with the prefix sums
+        ``c[i] = sum_{j<=i} beta*nwords[j]`` the recurrence collapses to
+        ``end[i] = c[i] + max(free, max_{j<=i}(avail[j] - c[j-1]))``, one
+        ``cumsum`` plus one ``maximum.accumulate``.
+
+        Note the closed form re-associates the additions, so it can differ
+        from the message-by-message fold in the final ulp.  The simulator's
+        bit-reproducibility contract therefore books real messages through
+        :meth:`serialize_batch` (which falls back to the exact fold outside
+        its provably-identical fast paths) and keeps this form for batch
+        sizing, analysis and cross-checks.
+        """
+        b = self.beta * np.asarray(nwords, dtype=np.float64)
+        c = np.cumsum(b)
+        slack = np.asarray(avail, dtype=np.float64) - (c - b)  # avail - c[i-1]
+        return c + np.maximum(free, np.maximum.accumulate(slack))
+
+    def serialize_batch(self, free: float, avail: np.ndarray,
+                        nwords: np.ndarray,
+                        ) -> "tuple[np.ndarray, np.ndarray]":
+        """Book a message batch on one link, bit-identical to booking each
+        message individually.  Returns ``(starts, ends)``.
+
+        Two vectorized regimes reproduce the scalar fold exactly:
+
+        * **saturated** — every message is already waiting when its
+          predecessor ends; the recurrence is the left fold
+          ``((free + b0) + b1) + ...``, which is exactly what ``np.cumsum``
+          over ``[free, b0, b1, ...]`` computes;
+        * **idle** — the link frees before each message becomes available;
+          ``end[i] = avail[i] + b[i]`` independently.
+
+        A batch that switches regimes mid-way falls back to the scalar
+        fold (plain-float loop): the re-associated closed form
+        (:meth:`occupancy_scan`) would drift in the last ulp, breaking the
+        bit-identical-across-runners/makespan contract.  Start times are
+        the fold's ``max(end[i-1], avail[i])`` selections (never re-derived
+        as ``end - beta*nwords``, which would also drift).
+        """
+        b = self.beta * np.asarray(nwords, dtype=np.float64)
+        n = b.size
+        avail = np.asarray(avail, dtype=np.float64)
+        if n == 0:
+            return b, b
+        # saturated fast path: prev_end[i] >= avail[i] for all i
+        seq = np.empty(n + 1)
+        seq[0] = free
+        seq[1:] = b
+        chain = np.cumsum(seq)          # chain[i] = end of message i-1
+        if np.all(avail <= chain[:-1]):
+            return chain[:-1], chain[1:]
+        # idle fast path: link free before every message becomes available
+        ends = avail + b
+        if avail[0] >= free and (n == 1 or np.all(avail[1:] >= ends[:-1])):
+            return avail, ends
+        # mixed regime: exact scalar fold over plain floats
+        end = free
+        starts = np.empty(n)
+        out = np.empty(n)
+        bl = b.tolist()
+        al = avail.tolist()
+        for i in range(n):
+            a = al[i]
+            if a > end:
+                end = a
+            starts[i] = end
+            end += bl[i]
+            out[i] = end
+        return starts, out

@@ -172,6 +172,82 @@ class Network:
             self._conds[dst].notify_all()
         return msg, t_end_tx + m.o_send
 
+    def post_batch(self, src: int, items: List[Tuple[int, int, Any, int]],
+                   sender_clock: float) -> Tuple[List[Message], np.ndarray]:
+        """Book the egress link for a batch of messages posted back to back.
+
+        ``items`` is a list of ``(dst, tag, payload, nwords)`` tuples in
+        program order.  Equivalent — bit-identically, including the
+        ``o_inject`` charge between posts — to calling :meth:`post` once
+        per message from an ``isend`` loop, but the per-message Python
+        overhead (lock round-trips, attribute lookups, scalar link math)
+        is paid once per batch: the egress bookings are computed by
+        :meth:`NetworkModel.serialize_batch`.
+
+        Returns ``(messages, done_times)`` where ``done_times[i]`` is the
+        simulated time at which sender buffer ``i`` is reusable
+        (egress serialization + ``o_send``).
+        """
+        if self._sched is not None:  # single-threaded: lock-free
+            return self._post_batch_impl(src, items, sender_clock)
+        with self._lock:
+            return self._post_batch_impl(src, items, sender_clock)
+
+    def _post_batch_impl(self, src: int, items: List[Tuple[int, int, Any, int]],
+                         sender_clock: float,
+                         ) -> Tuple[List[Message], np.ndarray]:
+        if self._abort_exc is not None:
+            self._check_abort()
+        m = self.model
+        n = len(items)
+        nranks = self.nranks
+        nwords_arr = np.empty(n, dtype=np.float64)
+        for i, it in enumerate(items):
+            dst = it[0]
+            if not 0 <= dst < nranks:
+                raise CommError(f"invalid destination rank {dst}")
+            nwords_arr[i] = it[3]
+        # The sender's clock advances by o_inject per isend, so message i
+        # becomes available at sender_clock after i o_inject charges
+        # (left-fold prefix sum, matching the scalar clock accumulation).
+        if m.o_inject:
+            seq = np.full(n, m.o_inject)
+            seq[0] = sender_clock
+            avail = np.cumsum(seq)
+        else:
+            avail = np.full(n, sender_clock)
+        starts, ends = m.serialize_batch(self.egress_free[src], avail,
+                                         nwords_arr)
+        self.egress_free[src] = float(ends[-1])
+        alpha = m.alpha
+        row = self._seq[src]
+        queues = self._queues
+        sched = self._sched
+        msgs: List[Message] = []
+        total_words = 0
+        starts_l = starts.tolist()
+        for i, (dst, tag, payload, nwords_) in enumerate(items):
+            t_start = starts_l[i]
+            msg = Message(src, dst, tag, row[dst], payload, nwords_,
+                          t_start, t_start + alpha)
+            row[dst] += 1
+            total_words += nwords_
+            mailbox = queues[dst]
+            key = (src, tag)
+            chan = mailbox.get(key)
+            if chan is None:
+                chan = mailbox[key] = deque()
+            chan.append(msg)
+            msgs.append(msg)
+        self.words_sent[src] += total_words
+        self.msgs_sent[src] += n
+        if sched is not None:
+            sched.on_post_batch(msgs)
+        else:
+            for dst in {it[0] for it in items}:
+                self._conds[dst].notify_all()
+        return msgs, ends + m.o_send
+
     def try_match(self, dst: int, source: int, tag: int) -> Optional[Message]:
         """Pop the earliest-sequence matching message, or return None.
 
@@ -244,6 +320,51 @@ class Network:
                 msg.src, dst, msg.tag, msg.nwords,
                 msg.t_start_tx, msg.t_first, t_done))
         return t_done
+
+    def deliver_batch(self, msgs: List[Message]) -> float:
+        """Book the ingress link for a batch of matched messages, in list
+        order; returns the completion time of the last one.
+
+        Equivalent — bit-identically — to calling :meth:`deliver` once per
+        message, with the per-message Python overhead amortized: the
+        ingress bookings come from one :meth:`NetworkModel.serialize_batch`
+        scan over the batch (``avail`` = the messages' ``t_first``).  All
+        messages must share one destination (one ``waitall`` caller).
+        """
+        if self._sched is not None:
+            return self._deliver_batch_impl(msgs)
+        with self._lock:
+            return self._deliver_batch_impl(msgs)
+
+    def _deliver_batch_impl(self, msgs: List[Message]) -> float:
+        if len(msgs) == 1:
+            return self._deliver_impl(msgs[0])
+        dst = msgs[0].dst
+        n = len(msgs)
+        nwords_arr = np.empty(n, dtype=np.float64)
+        avail = np.empty(n, dtype=np.float64)
+        total_words = 0
+        for i, msg in enumerate(msgs):
+            nwords_arr[i] = msg.nwords
+            avail[i] = msg.t_first
+            total_words += msg.nwords
+        _, ends = self.model.serialize_batch(self.ingress_free[dst], avail,
+                                             nwords_arr)
+        self.ingress_free[dst] = float(ends[-1])
+        self.words_recv[dst] += total_words
+        self.msgs_recv[dst] += n
+        ends_l = ends.tolist()
+        trace = self.trace if self.trace_enabled else None
+        for i, msg in enumerate(msgs):
+            msg.t_done = ends_l[i]
+            if msg.loans:
+                msg.payload = _freeze(msg.payload, readonly=True)
+                self.release_loans(msg)
+            if trace is not None:
+                trace.append(TraceRecord(
+                    msg.src, dst, msg.tag, msg.nwords,
+                    msg.t_start_tx, msg.t_first, msg.t_done))
+        return ends_l[-1]
 
     # ------------------------------------------------------------------
     # Send-buffer loans (cooperative zero-copy mode)
@@ -326,6 +447,29 @@ class Network:
             self.words_recv[:] = state["words_recv"]
             self.msgs_sent[:] = state["msgs_sent"]
             self.msgs_recv[:] = state["msgs_recv"]
+
+    def save_rank_state(self, rank: int) -> tuple:
+        """Snapshot ``rank``'s own clock, link occupancy and counters.
+
+        Every one of these entries is mutated only by rank ``rank``'s own
+        program actions (posts touch sender entries, deliveries receiver
+        entries), so a rank may checkpoint/roll back its *own* slice at its
+        own program points with no global quiesce: this is what lets
+        :func:`repro.train.xi.measure_xi` roll back a diagnostic collective
+        completely — each rank restores after its last receive, and no
+        later delivery by a peer can touch the restored entries.
+        """
+        return (self.clocks[rank], self.egress_free[rank],
+                self.ingress_free[rank], self.words_sent[rank],
+                self.words_recv[rank], self.msgs_sent[rank],
+                self.msgs_recv[rank])
+
+    def restore_rank_state(self, rank: int, state: tuple) -> None:
+        """Roll back the entries captured by :meth:`save_rank_state`."""
+        (self.clocks[rank], self.egress_free[rank],
+         self.ingress_free[rank], self.words_sent[rank],
+         self.words_recv[rank], self.msgs_sent[rank],
+         self.msgs_recv[rank]) = state
 
     # ------------------------------------------------------------------
     # Introspection

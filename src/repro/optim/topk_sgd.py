@@ -47,12 +47,19 @@ class StepInfo:
 def _session_or_reduce(allreduce: GradientAllreduce, comm: SimComm,
                        acc: np.ndarray, t: int,
                        layout: Optional[ParamLayout],
-                       bucket_size: Optional[int]) -> AllreduceResult:
+                       bucket_size: Optional[int],
+                       pacer=None) -> AllreduceResult:
     """Run the allreduce: session-based when a layout is configured
-    (bit-identical to one-shot at the default ``bucket_size=None``)."""
+    (bit-identical to one-shot at the default ``bucket_size=None``).
+
+    ``pacer`` (segment -> None) switches the session to streaming
+    execution: it is invoked before each push to charge the backward
+    compute the segment represents, and bucket reductions are issued on
+    the simulated clock mid-backward (see :mod:`repro.allreduce.session`).
+    """
     if layout is not None:
         return run_session(allreduce, comm, layout, t, acc,
-                           bucket_size=bucket_size)
+                           bucket_size=bucket_size, pacer=pacer)
     return allreduce.reduce(comm, acc, t)
 
 
@@ -91,13 +98,17 @@ class TopkSGD:
         self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
-             grad: np.ndarray) -> StepInfo:
-        """One synchronous data-parallel step; mutates ``params``."""
+             grad: np.ndarray, *, pacer=None) -> StepInfo:
+        """One synchronous data-parallel step; mutates ``params``.
+
+        ``pacer`` enables streaming sessions (see
+        :func:`_session_or_reduce`)."""
         self.t += 1
         lr = self.lr(self.t)
         acc = self.residual + lr * grad.astype(np.float32, copy=False)
         result = _session_or_reduce(self.allreduce, comm, acc, self.t,
-                                    self.layout, self.bucket_size)
+                                    self.layout, self.bucket_size,
+                                    pacer=pacer)
         # residual update: keep what did not contribute
         self.residual = acc
         if result.contributed_indices is None:
@@ -129,11 +140,12 @@ class SparseOptimWrapper:
         self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
-             grad: np.ndarray) -> StepInfo:
+             grad: np.ndarray, *, pacer=None) -> StepInfo:
         self.t += 1
         acc = self.residual + grad.astype(np.float32, copy=False)
         result = _session_or_reduce(self.allreduce, comm, acc, self.t,
-                                    self.layout, self.bucket_size)
+                                    self.layout, self.bucket_size,
+                                    pacer=pacer)
         self.residual = acc
         if result.contributed_indices is None:
             self.residual = np.zeros_like(acc)

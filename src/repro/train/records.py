@@ -28,6 +28,12 @@ class IterationRecord:
     overlap_saved: float = 0.0
     #: session buckets the allreduce ran in (1 = one-shot equivalent)
     nbuckets: int = 1
+    #: streaming runs only: the analytic ``visible_comm_time`` replay
+    #: evaluated on the same bucket stats, kept as a cross-check against
+    #: the measured discrete-event timeline (equal under zero contention;
+    #: under contention the measurement may fall on either side of the
+    #: replay); ``None`` in analytic mode
+    analytic_visible_comm: Optional[float] = None
 
 
 @dataclass
@@ -95,9 +101,10 @@ class RunRecord:
             w = csv.writer(fh)
             w.writerow(["t", "cum_time", "loss", "lr", "compute_time",
                         "sparsify_time", "comm_time", "iteration_time",
-                        "overlap_saved", "nbuckets", "selected", "xi"])
+                        "overlap_saved", "nbuckets", "selected", "xi",
+                        "analytic_visible_comm"])
             for i, r in enumerate(self.records):
                 w.writerow([r.t, times[i], r.loss, r.lr, r.compute_time,
                             r.sparsify_time, r.comm_time,
                             r.iteration_time, r.overlap_saved, r.nbuckets,
-                            r.selected, r.xi])
+                            r.selected, r.xi, r.analytic_visible_comm])

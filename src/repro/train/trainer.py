@@ -13,14 +13,33 @@ Each rank runs :class:`Trainer` inside an SPMD program (see
    backward order; ``bucket_size`` configures the fusion policy, and the
    default ``None`` is bit-identical to the one-shot ``reduce``) and
    charges sparsification + communication time,
-4. record the per-phase breakdown with the *generic* overlap timeline:
-   each bucket's communication overlaps the backward compute still
-   outstanding when the bucket was pushed
-   (:func:`repro.allreduce.visible_comm_time`;
-   ``overlap_backward_fraction`` bounds the overlappable share of
-   compute).  DenseOvlp's legacy credit ``max(0, comm - f * compute)``
-   falls out of the same timeline (its buckets release at the start of
-   backward); bucketed sparse schemes gain overlap the same way.
+4. record the per-phase breakdown under one of two overlap models
+   (``overlap_mode``):
+
+   * ``"analytic"`` (default) — the PR-2 replay: the backward lump is
+     charged up front, buckets reduce afterwards, and
+     :func:`repro.allreduce.visible_comm_time` replays their
+     communication against release times
+     ``T_b = compute * (1 - f * (1 - release_frac_b))``
+     (``f = overlap_backward_fraction``; forward compute never
+     overlaps).  DenseOvlp's legacy credit ``max(0, comm - f*compute)``
+     falls out of the same timeline; bucketed sparse schemes gain
+     overlap the same way.
+   * ``"stream"`` — discrete-event overlap on the simulated clock: the
+     trainer charges backward compute *incrementally per pushed
+     segment* (:class:`_BackwardPacer` keeps the clock on the backward
+     timeline), each bucket's reduction is issued inside an async
+     region the moment its last segment arrives — its messages book
+     links mid-backward and contend with any other traffic — and
+     ``finish()`` waits for the outstanding buckets.
+     ``iteration_time`` is then the *measured* clock delta; the
+     analytic replay is still evaluated on the same bucket stats and
+     recorded as ``IterationRecord.analytic_visible_comm`` as a
+     cross-check.  The two agree under zero contention; under
+     contention the measurement may fall on either side of the replay
+     (message-granularity pipelining vs head-of-line blocking between
+     interleaved collective rounds — see
+     :mod:`repro.allreduce.session`).
 
 Evaluation and ξ measurement are diagnostics and do not consume simulated
 time (the paper also excludes them from the runtime-per-iteration bars).
@@ -86,6 +105,9 @@ class TrainerConfig:
     #: bucket-fusion threshold in words for the session-based allreduce;
     #: None = one bucket (bit-identical to the one-shot reduce)
     bucket_size: Optional[int] = None
+    #: "analytic" (default, PR-2 replay accounting) or "stream"
+    #: (discrete-event overlap on the simulated clock; see module doc)
+    overlap_mode: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -94,9 +116,48 @@ class TrainerConfig:
             raise ConfigError(f"unknown mode {self.mode!r}")
         if self.bucket_size is not None and self.bucket_size < 1:
             raise ConfigError("bucket_size must be >= 1")
+        if self.overlap_mode not in ("analytic", "stream"):
+            raise ConfigError(
+                f"unknown overlap_mode {self.overlap_mode!r}; "
+                "expected 'analytic' or 'stream'")
 
 
 DENSE_SCHEMES = {"dense", "dense_ovlp"}
+
+
+class _BackwardPacer:
+    """Charges backward compute incrementally as segments are pushed.
+
+    Keeps the rank's clock on the backward timeline of the analytic
+    model: after segment pushes totalling fraction ``frac`` of the
+    parameter mass, the clock sits at
+    ``t0 + compute * (1 - f * (1 - frac))`` — exactly the release time
+    :func:`repro.allreduce.visible_comm_time` attributes to a bucket
+    closing there (same expression, so the streamed and analytic
+    timelines agree bit-for-bit on releases).  The non-overlappable
+    share ``(1 - f) * compute`` (forward + the backward part that cannot
+    overlap) is charged by the first call; ``f = 0`` degenerates to the
+    whole lump before the first push.
+    """
+
+    __slots__ = ("comm", "compute_time", "f", "n", "_t0", "_emitted")
+
+    def __init__(self, comm: SimComm, compute_time: float,
+                 overlap_fraction: float, total_words: int):
+        self.comm = comm
+        self.compute_time = compute_time
+        self.f = min(max(float(overlap_fraction), 0.0), 1.0)
+        self.n = total_words
+        self._t0 = comm.clock
+        self._emitted = 0
+
+    def __call__(self, segment) -> None:
+        self._emitted += segment.size
+        frac = self._emitted / self.n
+        target = self._t0 + self.compute_time * (1.0 - self.f * (1.0 - frac))
+        dt = target - self.comm.clock
+        if dt > 0.0:
+            self.comm.compute(dt)
 
 
 def build_allreduce(cfg: TrainerConfig):
@@ -143,51 +204,82 @@ class Trainer:
     # ------------------------------------------------------------------
     def run(self) -> RunRecord:
         comm, cfg, model = self.comm, self.cfg, self.model
+        stream = cfg.overlap_mode == "stream"
         for t in range(1, cfg.iterations + 1):
             x, y = self.batches.next_batch(t)
             loss, grad = model.loss_and_grad(x, y)
 
             clock0 = comm.clock
-            comm.compute(0.0)  # anchor
-            with comm.phase("compute"):
-                comm.compute_flops(model.train_flops(len(x)))
-            compute_time = comm.clock - clock0
+            recv0 = int(comm.net.words_recv[comm.rank])
+            if stream:
+                # The compute lump is charged incrementally by the pacer
+                # between segment pushes (inside driver.step), so the
+                # clock tracks the backward timeline while buckets issue.
+                compute_time = comm.net.model.flop_time * max(
+                    0.0, model.train_flops(len(x)))
+            else:
+                comm.compute(0.0)  # anchor
+                with comm.phase("compute"):
+                    comm.compute_flops(model.train_flops(len(x)))
+                compute_time = comm.clock - clock0
 
             xi = None
             if cfg.xi_every and t % cfg.xi_every == 0:
                 xi = self._measure_xi(grad, t)
 
-            step_clock = comm.clock
-            info = self.driver.step(comm, model.params_flat, grad)
-            step_time = comm.clock - step_clock
-            res = info.result
-
-            sparsify = res.sparsify_time
-            comm_t = max(0.0, step_time - sparsify)
-            if res.bucket_stats is not None:
-                # Generic timeline: replay the buckets' communication
-                # against their backward-release times.
-                visible_comm = visible_comm_time(
+            analytic_visible: Optional[float] = None
+            if stream:
+                pacer = _BackwardPacer(comm, compute_time,
+                                       cfg.overlap_backward_fraction,
+                                       self.layout.n)
+                info = self.driver.step(comm, model.params_flat, grad,
+                                        pacer=pacer)
+                res = info.result
+                sparsify = res.sparsify_time
+                comm_t = res.comm_time
+                # The discrete-event timeline *is* the measurement.
+                iter_time = comm.clock - clock0
+                visible_comm = max(0.0,
+                                   iter_time - compute_time - sparsify)
+                # Cross-check: the analytic replay over the same bucket
+                # stats; equal under zero contention, diverges in either
+                # direction once transfers contend (see module doc).
+                analytic_visible = visible_comm_time(
                     res.bucket_stats, compute_time,
                     cfg.overlap_backward_fraction, comm_t)
-            elif res.overlappable:
-                # Legacy one-shot path (direct reduce, no session).
-                credit = cfg.overlap_backward_fraction * compute_time
-                visible_comm = max(0.0, comm_t - credit)
             else:
-                visible_comm = comm_t
-            iter_time = compute_time + sparsify + visible_comm
+                step_clock = comm.clock
+                info = self.driver.step(comm, model.params_flat, grad)
+                step_time = comm.clock - step_clock
+                res = info.result
+
+                sparsify = res.sparsify_time
+                comm_t = max(0.0, step_time - sparsify)
+                if res.bucket_stats is not None:
+                    # Generic timeline: replay the buckets' communication
+                    # against their backward-release times.
+                    visible_comm = visible_comm_time(
+                        res.bucket_stats, compute_time,
+                        cfg.overlap_backward_fraction, comm_t)
+                elif res.overlappable:
+                    # Legacy one-shot path (direct reduce, no session).
+                    credit = cfg.overlap_backward_fraction * compute_time
+                    visible_comm = max(0.0, comm_t - credit)
+                else:
+                    visible_comm = comm_t
+                iter_time = compute_time + sparsify + visible_comm
 
             rec = IterationRecord(
                 t=t, loss=float(loss), lr=float(info.lr),
                 compute_time=compute_time, sparsify_time=sparsify,
                 comm_time=comm_t, iteration_time=iter_time,
-                words_recv=int(comm.net.words_recv[comm.rank]),
+                words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
                 selected=res.info.get("selected",
                                       res.info.get("selected_local")),
                 xi=xi,
                 overlap_saved=max(0.0, comm_t - visible_comm),
                 nbuckets=res.nbuckets,
+                analytic_visible_comm=analytic_visible,
             )
             if cfg.eval_every and self.eval_fn is not None and (
                     t % cfg.eval_every == 0 or t == cfg.iterations):

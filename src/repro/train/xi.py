@@ -11,8 +11,21 @@ convergence proof of Alistarh et al. applies.
 
 Measurement requires cross-worker state, so it gathers the dense
 accumulators to rank 0.  To keep this *diagnostic* from polluting the
-simulated timing/volume statistics, the network state is checkpointed and
-restored around the measurement (all ranks must call this collectively).
+simulated timing/volume statistics, every rank checkpoints and restores
+**its own** slice of the network state around the measurement (all ranks
+must call this collectively).
+
+Why per-rank checkpoints: each rank's clock, link occupancy and traffic
+counters are mutated only by that rank's own program actions (posts touch
+sender entries, deliveries receiver entries).  A rank that restores its
+slice *after its last receive of the measurement* is therefore guaranteed
+clean — no later peer activity can reach its entries.  The previous
+global-checkpoint scheme (rank 0 saves/restores everything, barriers
+around it) was subtly wrong twice over: the trailing barrier ran *after*
+the restore (its messages and latency stayed in the clocks and message
+counters), and peers could still be draining barrier traffic when rank 0
+restored, leaving their deliveries un-rolled-back.  Both leaks made a run
+with ``xi_every=N`` drift from the identical run without instrumentation.
 """
 
 from __future__ import annotations
@@ -46,22 +59,23 @@ def measure_xi(comm: SimComm, acc: np.ndarray, scaled_grad: np.ndarray,
                k: int) -> float:
     """Collective ξ measurement; returns the same value on every rank.
 
-    Timing/volume side effects of the gathers are rolled back via the
-    network checkpoint, so Figure 5 instrumentation does not change the
-    Figure 8-13 numbers.
+    Timing/volume side effects of the gathers and the broadcast are
+    rolled back via the rank's own network checkpoint
+    (:meth:`repro.comm.Network.save_rank_state`), taken before the first
+    message and restored after this rank's part of the broadcast has
+    completed — the rank's last measurement receive, so nothing later can
+    touch its slice (see the module docstring).  A run instrumented with
+    ``xi_every=N`` is bit-identical — clocks, link occupancy, traffic
+    counters, results — to the same run without instrumentation.  No
+    barriers are needed: every message the measurement posts is consumed
+    by the measurement's own collectives.
     """
-    coll.barrier(comm)
-    state: Optional[dict] = None
-    if comm.rank == 0:
-        state = comm.net.save_state()
+    state = comm.net.save_rank_state(comm.rank)
     accs = coll.gather(comm, acc, root=0)
     grads = coll.gather(comm, scaled_grad, root=0)
     xi: Optional[float] = None
     if comm.rank == 0:
         xi = xi_value(accs, grads, k)
     xi = coll.bcast(comm, xi, root=0)
-    coll.barrier(comm)
-    if comm.rank == 0:
-        comm.net.restore_state(state)
-    coll.barrier(comm)
+    comm.net.restore_rank_state(comm.rank, state)
     return float(xi)

@@ -115,6 +115,23 @@ class TestSplitK:
     def test_deterministic(self):
         assert split_k(7, [33, 33, 34]) == split_k(7, [33, 33, 34])
 
+    def test_k_less_than_nbuckets_leaves_zero_buckets(self):
+        """When k < nbuckets some buckets legally get a zero budget
+        (the session path must then skip them, never run them)."""
+        ks = split_k(2, [10, 10, 10, 10])
+        assert ks == [1, 1, 0, 0]
+
+    def test_k_zero_gives_all_zero(self):
+        assert split_k(0, [5, 5]) == [0, 0]
+
+    def test_single_element_buckets(self):
+        assert split_k(3, [1, 1, 1]) == [1, 1, 1]
+        ks = split_k(2, [1, 1, 1])
+        assert sum(ks) == 2 and set(ks) == {0, 1}
+
+    def test_empty_lengths(self):
+        assert split_k(5, []) == []
+
 
 # ---------------------------------------------------------------------------
 # Session vs one-shot: bit-identical results, traffic and makespans
@@ -275,21 +292,53 @@ class TestNativeBucketed:
 
     @pytest.mark.parametrize("scheme", ["topka", "topka_q", "gtopk",
                                         "gaussiank", "topkdsa"])
-    def test_zero_k_buckets_tolerated(self, scheme):
-        """k < nbuckets leaves some buckets with a zero budget; every
-        bucketable sparse scheme must select nothing there, not crash."""
+    def test_zero_k_buckets_skipped(self, scheme):
+        """k < nbuckets leaves some buckets with a zero budget; the
+        session must skip them outright — no scheme ever sees k=0
+        (``resolve_k`` floors every real reduction at one element) and a
+        skipped bucket produces no traffic."""
         p, n = 2, 256
         lay = _layout(n)
 
         def prog(comm):
             kwargs = dict(SCHEME_KWARGS.get(scheme, {}))
             algo = make_allreduce(scheme, k=1, **kwargs)
-            return run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
-                               bucket_size=16)
+            seen_k = []
+            orig = algo._reduce
 
-        res = run_spmd(p, prog)[0]
+            def probe(comm_, acc, t):
+                seen_k.append(algo.resolve_k(acc.size))
+                return orig(comm_, acc, t)
+
+            algo._reduce = probe
+            res = run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                              bucket_size=16)
+            return res, seen_k
+
+        res, seen_k = run_spmd(p, prog)[0]
         assert sum(res.info["bucket_k"]) == 1
         assert res.update.nnz >= 1
+        assert seen_k and all(k >= 1 for k in seen_k)
+        skipped = [st for st in res.bucket_stats if st.k == 0]
+        assert skipped and all(
+            st.comm_time == 0.0 and st.words_recv == 0
+            and st.info.get("skipped_zero_k") for st in skipped)
+
+    def test_zero_k_buckets_send_nothing(self):
+        """A skipped bucket contributes zero messages: total traffic
+        equals that of a session over only the funded buckets."""
+        p, n = 2, 256
+        lay = _layout(n)
+
+        def prog(comm):
+            algo = make_allreduce("topka", k=1)
+            run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                        bucket_size=16)
+            return None
+
+        spmd = run_spmd(p, prog)
+        # one funded bucket -> one allgatherv round trip per rank pair
+        assert int(spmd.stats.msgs_sent.sum()) == p * (p - 1)
 
     def test_push_order_enforced(self):
         lay = ParamLayout.from_sizes([4, 4])
@@ -349,6 +398,40 @@ class TestVisibleCommTime:
     def test_no_stats_passthrough(self):
         assert visible_comm_time(None, 1.0, 0.5, 7.0) == 7.0
         assert visible_comm_time([], 1.0, 0.5, 7.0) == 7.0
+
+    def test_f_zero_nothing_overlaps(self):
+        """f=0: every release is the end of compute; comm fully visible
+        regardless of release fractions."""
+        for stats in ([_stat(0.0, 2.0)],
+                      [_stat(0.0, 1.0), _stat(0.5, 2.0), _stat(1.0, 0.5)]):
+            total = sum(st.comm_time for st in stats)
+            got = visible_comm_time(stats, 4.0, 0.0, total)
+            assert got == pytest.approx(total)
+
+    def test_f_one_release_zero_fully_hidden(self):
+        """f=1 + release 0: comm hides behind the whole compute."""
+        assert visible_comm_time([_stat(0.0, 3.0)], 4.0, 1.0, 3.0) == 0.0
+        # and sticks out only past compute when longer
+        assert visible_comm_time([_stat(0.0, 6.0)], 4.0, 1.0, 6.0) \
+            == pytest.approx(2.0)
+
+    def test_f_clamped_outside_unit_interval(self):
+        lo = visible_comm_time([_stat(0.0, 2.0)], 4.0, -3.0, 2.0)
+        assert lo == visible_comm_time([_stat(0.0, 2.0)], 4.0, 0.0, 2.0)
+        hi = visible_comm_time([_stat(0.0, 2.0)], 4.0, 9.0, 2.0)
+        assert hi == visible_comm_time([_stat(0.0, 2.0)], 4.0, 1.0, 2.0)
+
+    def test_comm_not_attributed_to_any_bucket(self):
+        """Communication beyond the bucket sum is charged unoverlapped,
+        even when the buckets themselves hide completely."""
+        stats = [_stat(0.0, 1.0), _stat(0.2, 0.5)]
+        # buckets hidden (f=1, compute 10); 2.5 of 4.0 unattributed
+        got = visible_comm_time(stats, 10.0, 1.0, 4.0)
+        assert got == pytest.approx(4.0 - 1.5)
+
+    def test_zero_compute(self):
+        stats = [_stat(0.0, 1.0), _stat(1.0, 2.0)]
+        assert visible_comm_time(stats, 0.0, 1.0, 3.0) == pytest.approx(3.0)
 
 
 # ---------------------------------------------------------------------------
@@ -449,6 +532,147 @@ class TestTrainerOverlap:
             assert r.nbuckets == 1
             assert r.overlap_saved == 0.0
 
+    def test_words_recv_is_per_iteration(self):
+        """Regression: the record must hold the per-iteration receive
+        volume, not the cumulative network counter."""
+        rec = _train("topka", net=COMM_BOUND_NET, iters=4, bucket_size=24)
+        vols = [r.words_recv for r in rec.records]
+        assert all(v > 0 for v in vols)
+        # steady state: same schedule + same k every iteration -> the
+        # per-iteration volume is flat; a cumulative counter would grow
+        # ~linearly with t (max ~= iters * min)
+        assert max(vols) < 2 * min(vols)
+        assert vols[1] == vols[2] == vols[3]
+
+
+#: effectively uncontended: compute dominates, bucket comm is tiny and
+#: spaced far apart on the backward timeline
+ZERO_CONTENTION_NET = NetworkModel(alpha=1e-7, beta=1e-9, flop_time=5e-9)
+
+
+class TestStreamingOverlap:
+    """--overlap-mode stream: bucket reductions on the simulated clock."""
+
+    def test_bad_overlap_mode_rejected(self):
+        from repro.train import TrainerConfig
+        with pytest.raises(ConfigError):
+            TrainerConfig(iterations=1, overlap_mode="magic")
+
+    def test_zero_contention_matches_analytic_replay(self):
+        """With nothing to contend against, the streamed discrete-event
+        timeline reproduces the analytic visible_comm_time replay."""
+        an = _train("topka", p=4, bucket_size=24, net=ZERO_CONTENTION_NET)
+        st = _train("topka", p=4, bucket_size=24, net=ZERO_CONTENTION_NET,
+                    overlap_mode="stream")
+        for ra, rs in zip(an.records, st.records):
+            assert rs.nbuckets > 1
+            assert rs.iteration_time == pytest.approx(ra.iteration_time,
+                                                      rel=1e-12)
+            # the recorded cross-check agrees with the measurement
+            visible = rs.iteration_time - rs.compute_time - rs.sparsify_time
+            assert visible == pytest.approx(rs.analytic_visible_comm,
+                                            rel=1e-9, abs=1e-15)
+            assert ra.analytic_visible_comm is None
+
+    def test_comm_bound_stream_at_least_as_fast(self):
+        """Comm-bound small-bucket topka at P=8 (the acceptance
+        scenario): the streamed timeline pipelines the buckets at
+        message granularity and beats the serial analytic replay.  (Not
+        a universal law — interleaved multi-round collectives can also
+        suffer head-of-line blocking; see the session module doc.)"""
+        an = _train("topka", p=8, bucket_size=24, net=COMM_BOUND_NET)
+        st = _train("topka", p=8, bucket_size=24, net=COMM_BOUND_NET,
+                    overlap_mode="stream")
+        for ra, rs in zip(an.records, st.records):
+            assert rs.iteration_time <= ra.iteration_time * (1 + 1e-12)
+            # results and traffic are mode-independent
+            assert rs.loss == ra.loss
+            assert rs.words_recv == ra.words_recv
+            assert rs.nbuckets == ra.nbuckets > 1
+        assert st.total_time < an.total_time
+
+    def test_stream_results_bit_identical_to_analytic(self):
+        """Overlap modes only re-time communication; updates, losses and
+        wire traffic are unchanged."""
+        an = _train("gtopk", p=4, bucket_size=24, net=COMM_BOUND_NET)
+        st = _train("gtopk", p=4, bucket_size=24, net=COMM_BOUND_NET,
+                    overlap_mode="stream")
+        assert np.array_equal(an.losses, st.losses)
+        for ra, rs in zip(an.records, st.records):
+            assert ra.words_recv == rs.words_recv
+            assert ra.selected == rs.selected
+
+    def test_stream_one_bucket_degenerates_to_analytic(self):
+        """bucket_size=None: the delegating adapter needs the full
+        gradient, so streaming changes nothing (release 1.0)."""
+        an = _train("topka", p=2, net=COMM_BOUND_NET)
+        st = _train("topka", p=2, net=COMM_BOUND_NET,
+                    overlap_mode="stream")
+        for ra, rs in zip(an.records, st.records):
+            assert rs.iteration_time == pytest.approx(ra.iteration_time,
+                                                      rel=1e-12)
+            assert rs.overlap_saved == 0.0
+
+    def test_stream_non_bucketable_scheme_safe(self):
+        """oktopk keeps the delegating adapter even under stream mode."""
+        rec = _train("oktopk", p=2, bucket_size=64, net=COMM_BOUND_NET,
+                     overlap_mode="stream",
+                     scheme_kwargs={"tau": 2, "tau_prime": 2})
+        assert np.isfinite(rec.losses).all()
+        assert all(r.nbuckets == 1 for r in rec.records)
+
+    def test_stream_runner_equivalence(self):
+        """Streamed timelines are schedule-independent like everything
+        else: both runners agree bit-for-bit."""
+        import os
+        recs = {}
+        for runner in ("coop", "threads"):
+            os.environ["REPRO_SPMD_RUNNER"] = runner
+            try:
+                recs[runner] = _train("topka", p=4, bucket_size=24,
+                                      net=COMM_BOUND_NET,
+                                      overlap_mode="stream")
+            finally:
+                os.environ.pop("REPRO_SPMD_RUNNER", None)
+        a, b = recs["coop"], recs["threads"]
+        assert np.array_equal(a.losses, b.losses)
+        for ra, rb in zip(a.records, b.records):
+            assert ra.iteration_time == rb.iteration_time
+            assert ra.comm_time == rb.comm_time
+            assert ra.words_recv == rb.words_recv
+
+    def test_stream_bucket_issue_times_on_backward_timeline(self):
+        """Each bucket is issued exactly at its analytic release time
+        ``T_b = compute * (1 - f * (1 - release_frac_b))`` when the
+        trainer's pacer drives the pushes, and finish() leaves the clock
+        past every bucket's comm-finish."""
+        from repro.train.trainer import _BackwardPacer
+
+        p, n, compute, f = 2, 256, 1e-3, 0.5
+        lay = _layout(n)
+
+        def prog(comm):
+            algo = make_allreduce("topka", density=0.1)
+            clock0 = comm.clock
+            pacer = _BackwardPacer(comm, compute, f, lay.n)
+            res = run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                              bucket_size=32, pacer=pacer)
+            return clock0, comm.clock, res
+
+        clock0, end, res = run_spmd(p, prog)[0]
+        stats = res.bucket_stats
+        assert len(stats) > 1
+        for st in stats:
+            expect = clock0 + compute * (1.0 - f * (1.0 - st.release_frac))
+            assert st.info["t_issue"] == pytest.approx(expect, rel=1e-12)
+            assert st.info["t_comm_finish"] >= st.info["t_issue"]
+        # finish() waited for the last outstanding bucket and charged the
+        # deferred selection cost on top
+        sparsify = sum(st.sparsify_time for st in stats)
+        latest = max(st.info["t_comm_finish"] for st in stats)
+        assert end == pytest.approx(
+            max(clock0 + compute, latest) + sparsify, rel=1e-12)
+
 
 # ---------------------------------------------------------------------------
 # CLI smoke for the new flags
@@ -468,3 +692,13 @@ class TestCliBucketed:
         assert main(["train", "--workload", "perf_mlp", "--workers", "2",
                      "--iters", "2"]) == 0
         assert "final loss" in capsys.readouterr().out
+
+    def test_train_overlap_mode_stream(self, capsys):
+        from repro.cli import main
+        assert main(["train", "--workload", "perf_mlp", "--scheme",
+                     "topka", "--workers", "2", "--iters", "2",
+                     "--k", "64", "--bucket-size", "700",
+                     "--overlap-mode", "stream"]) == 0
+        out = capsys.readouterr().out
+        assert "overlap=stream" in out
+        assert "buckets" in out

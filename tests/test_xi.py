@@ -49,16 +49,81 @@ class TestMeasureXi:
         assert all(r == res[0] for r in res.results)
         assert res[0] >= 0
 
-    def test_measurement_does_not_perturb_stats(self):
-        """The gathers for ξ must not change volume counters or clocks
-        (beyond the surrounding barriers)."""
+    @pytest.mark.parametrize("runner", ["coop", "threads"])
+    def test_measurement_fully_invisible(self, runner):
+        """Regression: a run instrumented with ξ must be bit-identical —
+        clocks, link occupancy, words AND message counters — to the same
+        run without it.  (The old global-checkpoint scheme leaked its
+        trailing barrier into the clocks/message counters, and peers
+        could still be draining barrier traffic when rank 0 restored.)"""
+        from repro.comm import collectives as coll
+
         def prog(comm, with_xi):
             rng = np.random.default_rng(comm.rank)
+            # surrounding "real" traffic before and after the measurement
             acc = rng.normal(size=256).astype(np.float32)
+            coll.allreduce(comm, acc)
             if with_xi:
                 measure_xi(comm, acc, acc, k=8)
-            return int(comm.net.words_recv[comm.rank])
+            out = coll.allreduce(comm, acc * 2)
+            return float(out.sum()), comm.clock
 
-        plain = run_spmd(4, prog, False)
-        with_xi = run_spmd(4, prog, True)
+        plain = run_spmd(4, prog, False, runner=runner)
+        with_xi = run_spmd(4, prog, True, runner=runner)
         assert list(with_xi.results) == list(plain.results)
+        assert [with_xi.network.clocks[r] for r in range(4)] == \
+               [plain.network.clocks[r] for r in range(4)]
+        assert [with_xi.network.egress_free[r] for r in range(4)] == \
+               [plain.network.egress_free[r] for r in range(4)]
+        assert [with_xi.network.ingress_free[r] for r in range(4)] == \
+               [plain.network.ingress_free[r] for r in range(4)]
+        for field in ("words_sent", "words_recv", "msgs_sent", "msgs_recv"):
+            assert np.array_equal(getattr(with_xi.stats, field),
+                                  getattr(plain.stats, field)), field
+
+    @pytest.mark.parametrize("runner", ["coop", "threads"])
+    def test_trainer_xi_every_bit_identical(self, runner):
+        """End-to-end regression: xi_every=N leaves clocks, traffic,
+        per-iteration records and the trained parameters bit-identical to
+        xi_every=0 (only the recorded ξ values differ)."""
+        from repro.comm import NetworkModel
+        from repro.data import ShardedLoader, make_cifar_like
+        from repro.nn.activation import ReLU
+        from repro.nn.linear import Linear
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.module import FlatModel, Flatten, Sequential
+        from repro.train import Trainer, TrainerConfig
+
+        def prog(comm, xi_every):
+            rng = np.random.default_rng(5)
+            mod = Sequential(Flatten(), Linear(48, 16, rng=rng), ReLU(),
+                             Linear(16, 10, rng=rng))
+            model = FlatModel(mod, SoftmaxCrossEntropy(),
+                              flops_per_sample=2.0 * 48 * 16)
+            train, _ = make_cifar_like(32, 8, image_size=4, noise=0.5,
+                                       seed=0)
+            loader = ShardedLoader(train, 8, comm.rank, comm.size, seed=1)
+            cfg = TrainerConfig(iterations=4, scheme="topka", lr=0.05,
+                                density=0.1, xi_every=xi_every)
+            rec = Trainer(comm, model, loader, cfg).run()
+            return rec, model.params_flat.copy()
+
+        net = NetworkModel(alpha=5e-6, beta=5e-7, flop_time=2e-10)
+        base = run_spmd(2, prog, 0, model=net, runner=runner)
+        inst = run_spmd(2, prog, 2, model=net, runner=runner)
+        for r in range(2):
+            rec_b, params_b = base[r]
+            rec_i, params_i = inst[r]
+            assert np.array_equal(params_b, params_i)
+            for rb, ri in zip(rec_b.records, rec_i.records):
+                assert rb.iteration_time == ri.iteration_time
+                assert rb.compute_time == ri.compute_time
+                assert rb.comm_time == ri.comm_time
+                assert rb.words_recv == ri.words_recv
+                assert rb.loss == ri.loss
+        assert [base.network.clocks[r] for r in range(2)] == \
+               [inst.network.clocks[r] for r in range(2)]
+        for field in ("words_sent", "words_recv", "msgs_sent", "msgs_recv"):
+            assert np.array_equal(getattr(base.stats, field),
+                                  getattr(inst.stats, field)), field
+        assert [r.xi for r in inst[0][0].records if r.xi is not None]
