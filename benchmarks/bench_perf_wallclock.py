@@ -4,7 +4,9 @@
 Seeds and extends the repo's perf trajectory: times ``train_scheme`` for
 {dense, gtopk, oktopk} at P in {4, 16} on the comm-dominated ``perf_mlp``
 probe, under both the cooperative (default) and the legacy threaded runner,
-plus a pure comm-layer message-storm microbenchmark at P in {16, 64}.
+plus bucketed-session and streaming-session cases for {dense, topka,
+oktopk} (the oktopk rows exercise the shared-state native bucketed path)
+and a pure comm-layer message-storm microbenchmark at P in {16, 64}.
 Writes everything to ``BENCH_PERF.json`` (repo root) and prints a table.
 
 Measurement notes
@@ -158,10 +160,12 @@ def main(argv=None) -> int:
     # Bucketed-session path (native per-bucket reductions + overlap
     # accounting): tracks the session machinery's wall-clock overhead vs
     # the one-shot-equivalent default.  bucket_size=512 splits perf_mlp
-    # into 2 buckets (the head layers close the first bucket).
+    # into 2 buckets (the head layers close the first bucket).  oktopk
+    # exercises the shared-state path (thresholds/boundaries read from the
+    # full-gradient OkTopkState, refreshed once per due iteration).
     bucketed_rows = []
     results["train_scheme_bucketed"] = {}
-    for scheme in ("dense", "topka"):
+    for scheme in ("dense", "topka", "oktopk"):
         entry = {}
         for runner in RUNNERS:
             entry[runner] = time_train_scheme(4, scheme, runner,
@@ -178,10 +182,12 @@ def main(argv=None) -> int:
     # run on the simulated clock during backward (async regions, clock
     # rewinds, per-segment compute pacing).  This row tracks the
     # wall-clock overhead of the discrete-event machinery against the
-    # analytic replay on the identical workload.
+    # analytic replay on the identical workload.  The oktopk row is the
+    # paper scheme's native bucketed-stream path (split-and-reduce +
+    # balance-and-allgatherv per bucket, shared periodic state).
     stream_rows = []
     results["train_scheme_stream"] = {}
-    for scheme in ("dense", "topka"):
+    for scheme in ("dense", "topka", "oktopk"):
         entry = {}
         for mode in ("analytic", "stream"):
             entry[mode] = time_train_scheme(4, scheme, "coop",

@@ -4,7 +4,10 @@
 * default: every ``bench_*.py`` pytest benchmark (the paper-figure
   reproductions) followed by the wall-clock perf benchmark;
 * ``--quick``: a post-merge smoke check — the fast non-slow unit tests plus
-  ``bench_perf_wallclock.py --quick`` (a couple of minutes total).
+  ``bench_perf_wallclock.py --quick`` (a couple of minutes total).  The
+  quick perf run covers the bucketed and streaming session cases for
+  dense/topka/oktopk, so the Ok-Topk shared-state bucketed-stream path is
+  exercised on every post-merge smoke.
 
 Usage::
 

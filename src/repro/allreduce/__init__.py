@@ -9,10 +9,11 @@ from .base import (
 from .dense import DenseAllreduce, DenseOvlpAllreduce
 from .gaussiank import GaussiankAllreduce
 from .gtopk import GTopkAllreduce
-from .oktopk import OkTopkAllreduce
+from .oktopk import OkTopkAllreduce, OkTopkState
 from .registry import ALGORITHMS, PAPER_ORDER, make_allreduce
 from .session import (
     BucketStat,
+    BucketView,
     ParamLayout,
     ParamSegment,
     ReduceSession,
@@ -30,6 +31,7 @@ __all__ = [
     "ParamLayout",
     "ParamSegment",
     "BucketStat",
+    "BucketView",
     "run_session",
     "split_k",
     "visible_comm_time",
@@ -42,6 +44,7 @@ __all__ = [
     "GTopkAllreduce",
     "GaussiankAllreduce",
     "OkTopkAllreduce",
+    "OkTopkState",
     "ALGORITHMS",
     "PAPER_ORDER",
     "make_allreduce",

@@ -64,7 +64,7 @@ import numpy as np
 from ..comm import SimComm
 from ..errors import ConfigError
 from ..sparse import COOVector
-from .session import BucketStat, ParamLayout, ReduceSession
+from .session import BucketStat, BucketView, ParamLayout, ReduceSession
 
 PHASE_SPARSIFY = "sparsification"
 PHASE_COMM = "communication"
@@ -127,9 +127,11 @@ class GradientAllreduce(ABC):
     name: str = "?"
     #: whether the scheme sparsifies (False for the dense baselines)
     sparse: bool = True
-    #: whether the scheme supports the native per-bucket session path
-    #: (``_reduce`` must be stateless and position-independent: it is run
-    #: on each bucket slice as if it were a full gradient vector)
+    #: whether the scheme supports the native per-bucket session path —
+    #: either ``_reduce`` is stateless and position-independent (it is run
+    #: on each bucket slice as if it were a full gradient vector), or the
+    #: scheme overrides ``_reduce_bucket`` to consult the session's
+    #: ``BucketView`` (Ok-Topk's shared full-gradient periodic state)
     bucketable: bool = False
     #: True when the scheme's communication may overlap the *entire*
     #: backward pass (DenseOvlp's legacy contract); sessions report
@@ -168,11 +170,18 @@ class GradientAllreduce(ABC):
     # ------------------------------------------------------------------
     def reduce(self, comm: SimComm, acc: np.ndarray,
                t: int) -> AllreduceResult:
-        """Run one allreduce at iteration ``t`` (1-based)."""
+        """Run one allreduce at iteration ``t``.
+
+        ``t`` is **1-based** (the first training iteration is ``t = 1``).
+        Periodic schemes — Ok-Topk's tau/tau_prime schedules — key their
+        re-evaluation cadence off ``t - 1``, so a zero or negative ``t``
+        would silently shift every periodic re-evaluation by a full
+        period; it raises :class:`~repro.errors.ConfigError` instead.
+        """
         if acc.ndim != 1:
             raise ValueError("acc must be a flat gradient vector")
         if t < 1:
-            raise ValueError(f"iteration t must be >= 1, got {t}")
+            raise ConfigError(f"iteration t must be >= 1, got {t}")
         acc = np.ascontiguousarray(acc, dtype=np.float32)
         comm.phase_times(reset=True)
         result = self._reduce(comm, acc, t)
@@ -188,25 +197,33 @@ class GradientAllreduce(ABC):
         """Open a bucketed reduce session for one iteration.
 
         Push per-layer gradients in reverse layout (backward) order, then
-        call ``finish()``.  ``bucket_size=None`` (one bucket) is bit
-        identical to :meth:`reduce`; a multi-bucket plan uses the native
-        per-bucket path when ``bucketable`` and the delegating adapter
-        otherwise.  ``stream=True`` issues each native bucket reduction
-        at the rank's current simulated time inside an async region
-        (discrete-event overlap; see :mod:`repro.allreduce.session`),
-        with ``finish()`` joining the outstanding completions.
+        call ``finish()``.  ``t`` is **1-based**, same contract as
+        :meth:`reduce` (periodic schemes key their schedules off
+        ``t - 1``; ``t < 1`` raises ``ConfigError``).
+        ``bucket_size=None`` (one bucket) is bit identical to
+        :meth:`reduce`; a multi-bucket plan uses the native per-bucket
+        path when ``bucketable`` and the delegating adapter otherwise.
+        ``stream=True`` issues each native bucket reduction at the rank's
+        current simulated time inside an async region (discrete-event
+        overlap; see :mod:`repro.allreduce.session`), with ``finish()``
+        joining the outstanding completions; a scheme that cannot stream
+        records the fallback in its bucket stats.
         """
         return ReduceSession(self, comm, layout, t, bucket_size=bucket_size,
                              stream=stream)
 
     def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
-                       k: Optional[int] = None) -> AllreduceResult:
+                       k: Optional[int] = None,
+                       view: Optional[BucketView] = None) -> AllreduceResult:
         """Reduce one session bucket (``bucketable`` schemes only).
 
         Default: the one-shot algorithm on the bucket slice with ``k``
-        overriding the scheme's budget for the slice.  Override for
-        schemes whose one-shot path does internal bucketing of its own
-        (DenseOvlp).
+        overriding the scheme's budget for the slice — the stateless
+        contract, which ignores ``view``.  Override for schemes whose
+        one-shot path does internal bucketing of its own (DenseOvlp) or
+        that keep periodic state keyed to the full gradient and need the
+        session context (Ok-Topk reads its shared thresholds/boundaries
+        through ``view``; see :class:`~repro.allreduce.session.BucketView`).
         """
         self._k_override = k
         try:

@@ -73,7 +73,8 @@ class DenseOvlpAllreduce(DenseAllreduce):
                                info={"nbuckets": nb}, overlappable=True)
 
     def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
-                       k: Optional[int] = None) -> AllreduceResult:
+                       k: Optional[int] = None,
+                       view=None) -> AllreduceResult:
         # The session's bucket IS the overlap bucket: one allreduce per
         # bucket, no internal nbuckets sub-splitting (that would double
         # the latency terms vs the equivalent dense + bucketing config).

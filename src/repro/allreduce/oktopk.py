@@ -22,15 +22,61 @@ exactly (sort-based) every ``tau_prime`` iterations and *reused* in between
 
 Total: less than ``6k (P-1)/P`` bandwidth — asymptotically optimal against
 the ``2k (P-1)/P`` lower bound of Theorem 3.1.
+
+Shared periodic state and bucketed sessions
+-------------------------------------------
+
+All periodic quantities — the reused local/global thresholds, the
+consensus region boundaries, and the evaluation/repartition counters —
+live in one :class:`OkTopkState` keyed to the *full* gradient length.  The
+one-shot :meth:`OkTopkAllreduce._reduce` reads and writes it exactly as
+before.  The scheme is additionally ``bucketable``: under a multi-bucket
+:class:`~repro.allreduce.session.ReduceSession` each bucket runs
+split-and-reduce + balance-and-allgatherv over its own slice (with its
+proportional ``split_k`` budget) while **reading** the shared state
+instead of thrashing it:
+
+* every bucket selects by one linear scan against the **shared local
+  threshold**; the selection guard is applied *per bucket* against the
+  bucket's own budget, and a guard-triggered re-evaluation stays
+  bucket-local (it is never written back — per-bucket writes would thrash
+  the full-gradient estimate the sibling buckets read).  Likewise the
+  per-bucket phase 2 reads the **shared global threshold**;
+* on the ``tau_prime`` schedule both thresholds are re-evaluated **once
+  per iteration, from the full gradient**: the last funded bucket — the
+  point where the concatenation of the pushed segments *is* the whole
+  gradient — re-estimates the local threshold from the full accumulator
+  (global ``k``) and the global threshold from the union of all buckets'
+  reduced slices (one values-only allgatherv), exactly the one-shot
+  estimates.  They take effect from the next iteration, so the reuse
+  window is at most ``tau_prime + 1`` iterations instead of
+  ``tau_prime`` — well inside the paper's slowly-changing-statistics
+  assumption.  At the very first iteration (no cached state yet) the
+  first funded bucket bootstraps cheap estimates: the local threshold
+  from the segments pushed so far (``k`` scaled to the visible
+  fraction), the global threshold from its own reduced slice (bucket
+  budget); the per-bucket guard covers the one-iteration bias;
+* the **region boundaries** stay keyed to the full gradient.  Each bucket
+  intersects the consensus boundaries with its extent (clip to
+  ``[lo, hi)``, shift by ``lo``), so worker ``i`` reduces
+  ``region i ∩ bucket``.  The consensus itself runs on the ``tau``
+  schedule in the last funded bucket and takes effect from the next
+  iteration; until the first consensus the naive equal split is used (it
+  needs no collective and is identical on every rank).
+
+A one-bucket plan never reaches this path (sessions delegate to the
+one-shot ``_reduce``, bit-identical by construction).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 import numpy as np
 
 from ..comm import SimComm, collectives as coll
+from ..errors import ConfigError
 from ..sparse import (
     COOVector,
     balanced_boundaries_local,
@@ -45,9 +91,44 @@ from ..sparse import (
 from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
 from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
 from .schedule import buckets, make_steps
+from .session import BucketView
 
 _TAG_SR = (1 << 21) + 21      # split-and-reduce region pieces
 _TAG_BAL = (1 << 21) + 22     # data-balancing moves
+
+
+@dataclass
+class OkTopkState:
+    """Ok-Topk's periodic state, keyed to one full-gradient length.
+
+    One instance per worker and gradient layout; a gradient-size change
+    discards the whole object, so the cached thresholds, the consensus
+    boundaries **and** the ablation counters always describe the same
+    model (resetting only the thresholds used to leave stale counters
+    behind).  The ``*_t`` markers record the iteration of the last
+    full-gradient re-estimate so a bucketed session refreshes each shared
+    quantity at most once per iteration — per-bucket execution reads this
+    state, it never thrashes it.  ``pending_reduced`` is per-iteration
+    scratch: the buckets' reduced values collected for the end-of-iteration
+    global-threshold refresh.
+    """
+
+    n: int
+    local_th: Optional[float] = None
+    global_th: Optional[float] = None
+    boundaries: Optional[np.ndarray] = None
+    # ablation counters (Figure 4/6/7 instrumentation)
+    local_evaluations: int = 0
+    global_evaluations: int = 0
+    repartitions: int = 0
+    balancing_triggered: int = 0
+    # iteration of the last full-gradient refresh (bucketed sessions only)
+    local_refresh_t: int = 0
+    global_refresh_t: int = 0
+    repartition_t: int = 0
+    # per-iteration scratch for the bucketed global-threshold refresh
+    pending_t: int = 0
+    pending_reduced: List[np.ndarray] = field(default_factory=list)
 
 
 class OkTopkAllreduce(GradientAllreduce):
@@ -68,12 +149,11 @@ class OkTopkAllreduce(GradientAllreduce):
             catches pathological drift).
     """
 
-    # Not bucketable: the cached thresholds and consensus region
-    # boundaries are keyed to the full gradient length, so per-bucket
-    # execution would thrash the periodic state (sessions fall back to
-    # the delegating adapter, which is bit-identical to one-shot).
+    # Bucketable via the shared-state session path (module docstring):
+    # buckets read the full-gradient OkTopkState instead of re-keying the
+    # periodic thresholds/boundaries to their slice.
     name = "oktopk"
-    bucketable = False
+    bucketable = True
 
     def __init__(self, *, tau: int = 64, tau_prime: int = 32,
                  balanced_partition: bool = True, rotation: bool = True,
@@ -91,69 +171,120 @@ class OkTopkAllreduce(GradientAllreduce):
         self.data_balancing = data_balancing
         self.balance_trigger = balance_trigger
         self.selection_guard = selection_guard
-        # per-worker reused state
-        self._n: Optional[int] = None
-        self._local_th: Optional[float] = None
-        self._global_th: Optional[float] = None
-        self._boundaries: Optional[np.ndarray] = None
-        self.local_evaluations = 0
-        self.global_evaluations = 0
-        self.repartitions = 0
-        self.balancing_triggered = 0
+        #: shared periodic state, created lazily per gradient length
+        self._state: Optional[OkTopkState] = None
+
+    # ------------------------------------------------------------------
+    # Back-compat accessors over the state object
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> Optional[OkTopkState]:
+        return self._state
+
+    @property
+    def local_evaluations(self) -> int:
+        return self._state.local_evaluations if self._state else 0
+
+    @property
+    def global_evaluations(self) -> int:
+        return self._state.global_evaluations if self._state else 0
+
+    @property
+    def repartitions(self) -> int:
+        return self._state.repartitions if self._state else 0
+
+    @property
+    def balancing_triggered(self) -> int:
+        return self._state.balancing_triggered if self._state else 0
+
+    @property
+    def _local_th(self) -> Optional[float]:
+        return self._state.local_th if self._state else None
+
+    @property
+    def _global_th(self) -> Optional[float]:
+        return self._state.global_th if self._state else None
+
+    @property
+    def _boundaries(self) -> Optional[np.ndarray]:
+        return self._state.boundaries if self._state else None
 
     # ------------------------------------------------------------------
     def _due(self, t: int, period: int) -> bool:
+        """Is periodic work scheduled at iteration ``t``?
+
+        Iterations are **1-based** (the contract of
+        :meth:`GradientAllreduce.reduce` / :meth:`~GradientAllreduce.begin`):
+        the schedule fires at ``t = 1, 1+period, 1+2*period, ...``.  A
+        non-positive ``t`` would silently shift the whole tau/tau_prime
+        schedule by a full period, so it is rejected here as well as at
+        the public entry points.
+        """
+        if t < 1:
+            raise ConfigError(
+                f"Ok-Topk iterations are 1-based (the tau/tau_prime "
+                f"schedules key off t - 1); got t={t}")
         return (t - 1) % period == 0
 
-    def _reset_state_if_needed(self, n: int) -> None:
-        if self._n != n:
-            self._n = n
-            self._local_th = None
-            self._global_th = None
-            self._boundaries = None
+    def _reset_state_if_needed(self, n: int) -> OkTopkState:
+        st = self._state
+        if st is None or st.n != n:
+            # Thresholds, boundaries and the ablation counters reset
+            # *together*: an instance reused across models must not carry
+            # stale evaluation/repartition stats into the new run.
+            st = self._state = OkTopkState(n)
+        return st
 
     # ------------------------------------------------------------------
     # Local selection (Algorithm 1 lines 2-4)
     # ------------------------------------------------------------------
     def _select_local(self, comm: SimComm, acc: np.ndarray,
                       k: int, t: int) -> COOVector:
+        st = self._state
         n = acc.size
-        if self._local_th is None or self._due(t, self.tau_prime):
-            self._local_th = kth_largest_abs(acc, k)
-            self.local_evaluations += 1
+        if st.local_th is None or self._due(t, self.tau_prime):
+            st.local_th = kth_largest_abs(acc, k)
+            st.local_evaluations += 1
             comm.compute_sort(n)
         comm.compute_scan(n)
-        if self._local_th <= 0.0:
+        if st.local_th <= 0.0:
             # Degenerate (all-zero accumulator or k >= n): exact selection.
             return exact_topk(acc, k)
-        local = threshold_select(acc, self._local_th)
+        local = threshold_select(acc, st.local_th)
         g = self.selection_guard
         if local.nnz > g * k or local.nnz * g < k:
             # Stale threshold drifted too far: re-evaluate immediately.
-            self._local_th = kth_largest_abs(acc, k)
-            self.local_evaluations += 1
+            st.local_th = kth_largest_abs(acc, k)
+            st.local_evaluations += 1
             comm.compute_sort(n)
             comm.compute_scan(n)
-            local = (threshold_select(acc, self._local_th)
-                     if self._local_th > 0 else exact_topk(acc, k))
+            local = (threshold_select(acc, st.local_th)
+                     if st.local_th > 0 else exact_topk(acc, k))
         return local
 
     # ------------------------------------------------------------------
     # Space repartition (Algorithm 1 lines 5-7)
     # ------------------------------------------------------------------
+    def _consensus_boundaries(self, comm: SimComm, st: OkTopkState,
+                              proposal: np.ndarray, n: int, t: int) -> None:
+        """Average the boundary proposals across ranks (P+1-word
+        allreduce), sanitize, and store as the shared boundaries."""
+        summed = coll.allreduce_recursive_doubling(comm, proposal)
+        st.boundaries = sanitize_boundaries(summed / comm.size, n)
+        st.repartitions += 1
+        st.repartition_t = t
+
     def _repartition(self, comm: SimComm, local: COOVector, n: int,
                      t: int) -> np.ndarray:
-        if self._boundaries is not None and not self._due(t, self.tau):
-            return self._boundaries
-        p = comm.size
+        st = self._state
+        if st.boundaries is not None and not self._due(t, self.tau):
+            return st.boundaries
         if self.balanced_partition:
-            proposal = balanced_boundaries_local(local.indices, n, p)
+            proposal = balanced_boundaries_local(local.indices, n, comm.size)
         else:
-            proposal = equal_boundaries(n, p).astype(np.float64)
-        summed = coll.allreduce_recursive_doubling(comm, proposal)
-        self._boundaries = sanitize_boundaries(summed / p, n)
-        self.repartitions += 1
-        return self._boundaries
+            proposal = equal_boundaries(n, comm.size).astype(np.float64)
+        self._consensus_boundaries(comm, st, proposal, n, t)
+        return st.boundaries
 
     # ------------------------------------------------------------------
     # Phase 1: split and reduce (Section 3.1.1)
@@ -201,23 +332,31 @@ class OkTopkAllreduce(GradientAllreduce):
     # ------------------------------------------------------------------
     # Global threshold (Algorithm 1 lines 9-12)
     # ------------------------------------------------------------------
+    def _estimate_global_th(self, comm: SimComm, st: OkTopkState,
+                            merged_values: np.ndarray, k: int) -> float:
+        """Store the ``k``-th magnitude of the gathered reduced values as
+        the shared global threshold (0 when nothing was reduced); charges
+        the sort and bumps the evaluation counter."""
+        with comm.phase(PHASE_SPARSIFY):
+            if merged_values.size:
+                st.global_th = kth_largest_abs(
+                    merged_values, min(k, merged_values.size))
+            else:
+                st.global_th = 0.0
+            comm.compute_sort(merged_values.size)
+        st.global_evaluations += 1
+        return st.global_th
+
     def _global_threshold(self, comm: SimComm, reduced: COOVector,
                           k: int, t: int) -> float:
-        if self._global_th is not None and not self._due(t, self.tau_prime):
-            return self._global_th
+        st = self._state
+        if st.global_th is not None and not self._due(t, self.tau_prime):
+            return st.global_th
         with comm.phase(PHASE_COMM):
             all_reduced = coll.allgatherv_coo(comm, reduced)
         merged_values = np.concatenate(
             [v.values for v in all_reduced]) if all_reduced else np.empty(0)
-        with comm.phase(PHASE_SPARSIFY):
-            if merged_values.size:
-                self._global_th = kth_largest_abs(
-                    merged_values, min(k, merged_values.size))
-            else:
-                self._global_th = 0.0
-            comm.compute_sort(merged_values.size)
-        self.global_evaluations += 1
-        return self._global_th
+        return self._estimate_global_th(comm, st, merged_values, k)
 
     # ------------------------------------------------------------------
     # Phase 2: balance and allgatherv (Section 3.1.2)
@@ -241,7 +380,7 @@ class OkTopkAllreduce(GradientAllreduce):
                 and max(sizes) > self.balance_trigger * total / p):
             idx, val = self._rebalance(comm, idx, val, sizes)
             balanced = True
-            self.balancing_triggered += 1
+            self._state.balancing_triggered += 1
         # (4) allgatherv via dissemination; region order keeps global sort
         pieces = coll.allgatherv(comm, (idx, val))
         cat_idx = np.concatenate([pc[0] for pc in pieces])
@@ -305,9 +444,191 @@ class OkTopkAllreduce(GradientAllreduce):
                 "k": k,
                 "selected_local": local.nnz,
                 "selected_global": u_t.nnz,
-                "local_threshold": self._local_th,
+                "local_threshold": self._state.local_th,
                 "global_threshold": global_th,
                 "balancing_triggered": balanced,
                 "boundaries": boundaries,
             },
         )
+
+    # ------------------------------------------------------------------
+    # Native bucketed sessions (shared periodic state; module docstring)
+    # ------------------------------------------------------------------
+    def _reduce_bucket(self, comm: SimComm, acc: np.ndarray, t: int, *,
+                       k: Optional[int] = None,
+                       view: Optional[BucketView] = None) -> AllreduceResult:
+        """Run Algorithm 1 over one session bucket, reading shared state.
+
+        ``view`` locates the bucket inside the full gradient (sessions
+        always provide it); without one the slice is treated as a complete
+        single-bucket gradient.
+        """
+        n_b = acc.size
+        if view is None:
+            view = BucketView(lo=0, hi=n_b, n=n_b, index=0, nbuckets=1,
+                              final=True, acc=acc)
+        st = self._reset_state_if_needed(view.n)
+        k_total = self.resolve_k(view.n)
+        if k is None:
+            k_b = max(1, min(n_b, int(round(k_total * n_b / view.n))))
+        else:
+            k_b = max(1, min(int(k), n_b))
+
+        with comm.phase(PHASE_SPARSIFY):
+            local = self._select_local_bucket(comm, st, acc, k_b, k_total,
+                                              view)
+        with comm.phase(PHASE_COMM):
+            bnd = self._bucket_boundaries(comm, st, view)
+            reduced = self._split_and_reduce(comm, local, bnd)
+        if self._due(t, self.tau_prime):
+            # This iteration ends with a global-threshold refresh: keep
+            # the bucket's reduced values for the union (scratch, cleared
+            # by the refresh).
+            if st.pending_t != t:
+                st.pending_t = t
+                st.pending_reduced = []
+            st.pending_reduced.append(reduced.values)
+        global_th = self._global_threshold_bucket(comm, st, reduced, k_b)
+        with comm.phase(PHASE_COMM):
+            u_t, balanced = self._balance_and_allgatherv(
+                comm, reduced, global_th)
+        if view.final:
+            # The whole gradient has been pushed by now: run the scheduled
+            # full-gradient re-estimates (thresholds, consensus
+            # boundaries) for the *next* iterations — this one already ran
+            # every bucket on the previous estimates.
+            self._refresh_shared_state(comm, st, view, t)
+        indexes = intersect_sorted(local.indices, u_t.indices)
+
+        return AllreduceResult(
+            update=u_t,
+            contributed_indices=indexes,
+            info={
+                "k": k_b,
+                "selected_local": local.nnz,
+                "selected_global": u_t.nnz,
+                "local_threshold": st.local_th,
+                "global_threshold": global_th,
+                "balancing_triggered": balanced,
+                "boundaries": bnd,
+            },
+        )
+
+    def _select_local_bucket(self, comm: SimComm, st: OkTopkState,
+                             acc: np.ndarray, k_b: int, k_total: int,
+                             view: BucketView) -> COOVector:
+        """Per-bucket threshold selection against the shared local threshold.
+
+        The shared threshold is normally refreshed from the full gradient
+        at the end of each due iteration (:meth:`_refresh_shared_state`);
+        only the very first bucket ever run bootstraps it from the
+        concatenation of the segments pushed so far, with ``k`` scaled to
+        the visible fraction of the gradient.  The guard is applied per
+        bucket against its own budget; a guard re-evaluation is
+        bucket-local and never written back (writing it would thrash the
+        full-gradient estimate the other buckets read).
+        """
+        n_b = acc.size
+        if st.local_th is None:
+            pushed = view.pushed
+            k_eval = max(1, min(pushed.size,
+                                int(round(k_total * pushed.size / view.n))))
+            st.local_th = kth_largest_abs(pushed, k_eval)
+            st.local_evaluations += 1
+            comm.compute_sort(pushed.size)
+        comm.compute_scan(n_b)
+        if st.local_th <= 0.0:
+            return exact_topk(acc, k_b)
+        local = threshold_select(acc, st.local_th)
+        g = self.selection_guard
+        if local.nnz > g * k_b or local.nnz * g < k_b:
+            th_b = kth_largest_abs(acc, k_b)
+            # counted like the one-shot guard path: the sort really ran,
+            # even though the corrected threshold stays bucket-local
+            st.local_evaluations += 1
+            comm.compute_sort(n_b)
+            comm.compute_scan(n_b)
+            local = (threshold_select(acc, th_b) if th_b > 0
+                     else exact_topk(acc, k_b))
+        return local
+
+    def _bucket_boundaries(self, comm: SimComm, st: OkTopkState,
+                           view: BucketView) -> np.ndarray:
+        """Consensus full-gradient boundaries intersected with the bucket.
+
+        Worker ``i`` reduces ``region i ∩ [lo, hi)``; regions that miss the
+        bucket degenerate to empty slices (their pieces carry no words).
+        Before the first consensus (iteration 1's buckets) the naive equal
+        split is used — identical on every rank without a collective.
+        """
+        full = st.boundaries
+        if full is None:
+            full = equal_boundaries(view.n, comm.size)
+        return np.clip(full, view.lo, view.hi) - view.lo
+
+    def _global_threshold_bucket(self, comm: SimComm, st: OkTopkState,
+                                 reduced: COOVector, k_b: int) -> float:
+        """Shared global threshold; bootstrapped by the first bucket ever
+        run (from its own reduced slice, bucket budget) and otherwise
+        refreshed from the full reduced gradient at the end of each due
+        iteration (:meth:`_refresh_shared_state`)."""
+        if st.global_th is not None:
+            return st.global_th
+        with comm.phase(PHASE_COMM):
+            all_reduced = coll.allgatherv_coo(comm, reduced)
+        merged_values = np.concatenate(
+            [v.values for v in all_reduced]) if all_reduced else np.empty(0)
+        return self._estimate_global_th(comm, st, merged_values, k_b)
+
+    def _refresh_shared_state(self, comm: SimComm, st: OkTopkState,
+                              view: BucketView, t: int) -> None:
+        """End-of-iteration re-estimates from the fully pushed gradient.
+
+        Runs inside the last funded bucket, after its phase 2: each shared
+        quantity is refreshed at most once per iteration, on its own
+        schedule, and takes effect from the next iteration.  The local
+        threshold is the exact ``k``-th magnitude of the full accumulator
+        and the global threshold the ``k``-th magnitude of the union of
+        all buckets' reduced values (one values-only allgatherv) — the
+        same estimates the one-shot path computes, evaluated one bucket
+        plan later.
+        """
+        acc_full = view.acc
+        n = acc_full.size
+        k_total = self.resolve_k(n)
+        if self._due(t, self.tau_prime) and st.local_refresh_t != t:
+            with comm.phase(PHASE_SPARSIFY):
+                st.local_th = kth_largest_abs(acc_full, k_total)
+                st.local_evaluations += 1
+                st.local_refresh_t = t
+                comm.compute_sort(n)
+        if self._due(t, self.tau) and st.repartition_t != t:
+            with comm.phase(PHASE_COMM):
+                self._repartition_full(comm, st, acc_full, t)
+        if self._due(t, self.tau_prime) and st.global_refresh_t != t:
+            mine = (np.concatenate(st.pending_reduced)
+                    if st.pending_reduced
+                    else np.empty(0, VALUE_DTYPE))
+            with comm.phase(PHASE_COMM):
+                pieces = coll.allgatherv(comm, mine)
+            merged_values = (np.concatenate(pieces) if pieces
+                             else np.empty(0))
+            self._estimate_global_th(comm, st, merged_values, k_total)
+            st.global_refresh_t = t
+            st.pending_t = 0
+            st.pending_reduced = []
+
+    def _repartition_full(self, comm: SimComm, st: OkTopkState,
+                          acc_full: np.ndarray, t: int) -> None:
+        """The tau-schedule consensus repartition, run once per due
+        iteration from the fully pushed gradient (one threshold scan
+        recovers this rank's selected coordinates)."""
+        p = comm.size
+        if self.balanced_partition and st.local_th is not None \
+                and st.local_th > 0.0:
+            sel = np.flatnonzero(np.abs(acc_full) >= st.local_th)
+            comm.compute_scan(acc_full.size)
+            proposal = balanced_boundaries_local(sel, acc_full.size, p)
+        else:
+            proposal = equal_boundaries(acc_full.size, p).astype(np.float64)
+        self._consensus_boundaries(comm, st, proposal, acc_full.size, t)

@@ -32,7 +32,12 @@ the pieces of that execution model:
     multi-bucket plan): each bucket is reduced independently — eagerly,
     the moment its last segment is pushed — with its proportional ``k``
     share, and :meth:`ReduceSession.finish` merges the per-bucket results
-    back into one :class:`AllreduceResult`;
+    back into one :class:`AllreduceResult`.  Each reduction receives a
+    :class:`BucketView` locating the bucket inside the full gradient;
+    stateless schemes ignore it, while Ok-Topk reads its shared periodic
+    state (thresholds, consensus boundaries) through it so per-bucket
+    execution never thrashes the full-gradient estimates (see
+    :mod:`repro.allreduce.oktopk`);
 
 * :class:`BucketStat` / :func:`visible_comm_time` — the generic overlap
   timeline.  Every bucket records the fraction of the backward pass that
@@ -75,10 +80,20 @@ last finish past the idealized clean-link serial replay.  Resolving that
 is the whole point of running the events.  Per-bucket issue and
 comm-finish times land in ``BucketStat.info["t_issue"]`` /
 ``["t_comm_finish"]``.
+
+A session opened with ``stream=True`` that cannot stream — the scheme is
+not ``bucketable``, or the plan collapsed to one bucket — falls back to
+the post-backward delegating adapter.  The fallback is **recorded** so
+benchmark readers cannot misattribute analytic numbers to streaming: the
+delegated bucket's ``BucketStat.info["stream_fallback"]`` is set (the
+trainer mirrors it into ``IterationRecord.stream_fallback``), and a
+one-time ``RuntimeWarning`` is emitted when a multi-bucket plan was
+requested for a non-bucketable scheme.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
@@ -91,6 +106,10 @@ from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..comm import SimComm
     from .base import AllreduceResult, GradientAllreduce
+
+#: scheme names already warned about falling back from stream=True to the
+#: delegating adapter (one warning per scheme per process is enough)
+_STREAM_FALLBACK_WARNED: set = set()
 
 
 # ---------------------------------------------------------------------------
@@ -232,6 +251,38 @@ def split_k(k: int, lengths: Sequence[int]) -> List[int]:
 
 
 # ---------------------------------------------------------------------------
+# Bucket context handed to native per-bucket reductions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BucketView:
+    """Where a session bucket sits inside the full gradient.
+
+    Passed by the native path to :meth:`GradientAllreduce._reduce_bucket`
+    alongside the bucket slice ``acc[lo:hi]``.  Stateless schemes ignore
+    it; schemes with full-gradient periodic state (Ok-Topk) use it to read
+    that state and to see the data pushed so far.  Because pushes arrive
+    in reverse layout order and a bucket runs the moment its last segment
+    lands, the pushed region is exactly the suffix ``[lo, n)`` —
+    :attr:`pushed` exposes it.  ``final`` marks the last *funded* bucket
+    of the plan (zero-budget buckets are skipped and never run), i.e. the
+    point where the whole gradient is available.
+    """
+
+    lo: int
+    hi: int
+    n: int
+    index: int
+    nbuckets: int
+    final: bool
+    acc: np.ndarray
+
+    @property
+    def pushed(self) -> np.ndarray:
+        """The segments pushed so far (suffix of the flat gradient)."""
+        return self.acc[self.lo:]
+
+
+# ---------------------------------------------------------------------------
 # Per-bucket accounting
 # ---------------------------------------------------------------------------
 @dataclass
@@ -314,7 +365,9 @@ class ReduceSession:
                  layout: ParamLayout, t: int, *,
                  bucket_size: Optional[int] = None, stream: bool = False):
         if t < 1:
-            raise ValueError(f"iteration t must be >= 1, got {t}")
+            # 1-based iterations are a hard contract: periodic schemes
+            # (Ok-Topk) key their tau/tau_prime schedules off t - 1.
+            raise ConfigError(f"iteration t must be >= 1, got {t}")
         self.scheme = scheme
         self.comm = comm
         self.layout = layout
@@ -349,6 +402,22 @@ class ReduceSession:
             lengths = [sum(s.size for s in b) for b in self._plan]
             self._bucket_k = (split_k(k_total, lengths)
                               if scheme.sparse else [None] * len(self._plan))
+            funded = [b for b, kb in enumerate(self._bucket_k)
+                      if kb is None or kb > 0]
+            # split_k hands out at least one positive share (k >= 1), so
+            # the plan always has a final funded bucket.
+            self._last_funded = funded[-1]
+        #: stream=True that cannot stream: the delegating adapter runs
+        #: post-backward, so the timings are analytic, not discrete-event.
+        self.stream_fallback = self.stream and not self._native
+        if (self.stream and not scheme.bucketable and len(self._plan) > 1
+                and scheme.name not in _STREAM_FALLBACK_WARNED):
+            _STREAM_FALLBACK_WARNED.add(scheme.name)
+            warnings.warn(
+                f"scheme {scheme.name!r} is not bucketable: stream=True "
+                f"falls back to the post-backward delegating adapter (no "
+                f"discrete-event overlap; timings are analytic)",
+                RuntimeWarning, stacklevel=3)
         comm.phase_times(reset=True)
 
     # ------------------------------------------------------------------
@@ -426,6 +495,10 @@ class ReduceSession:
         from .base import PHASE_COMM, PHASE_SPARSIFY
         release = 0.0 if (self.scheme.overlap_from_start
                           or result.overlappable) else 1.0
+        info: Dict[str, Any] = {"delegated": True,
+                                "clock_delta": comm.clock - clock0}
+        if self.stream_fallback:
+            info["stream_fallback"] = True
         self.bucket_stats.append(BucketStat(
             lo=0, hi=self.layout.n, nsegments=len(self.layout),
             release_frac=release,
@@ -434,7 +507,7 @@ class ReduceSession:
             words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
             selected=result.info.get(
                 "selected", result.info.get("selected_local")),
-            info={"delegated": True, "clock_delta": comm.clock - clock0},
+            info=info,
         ))
         return result
 
@@ -469,17 +542,20 @@ class ReduceSession:
             return
         phases0 = comm.phase_times()
         recv0 = int(comm.net.words_recv[comm.rank])
+        view = BucketView(lo=lo, hi=hi, n=self.layout.n, index=b,
+                          nbuckets=self.nbuckets,
+                          final=(b == self._last_funded), acc=self._acc)
         if self.stream:
             # Issue the reduction *now*, at the rank's mid-backward clock:
             # its messages book (and contend for) links at this simulated
             # time, while the rank's own timeline continues backward.
             with comm.async_region() as region:
                 res = self.scheme._reduce_bucket(comm, self._acc[lo:hi],
-                                                 self.t, k=k_b)
+                                                 self.t, k=k_b, view=view)
         else:
             region = None
             res = self.scheme._reduce_bucket(comm, self._acc[lo:hi], self.t,
-                                             k=k_b)
+                                             k=k_b, view=view)
         phases1 = comm.phase_times()
         if res.overlappable:
             release = 0.0

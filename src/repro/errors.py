@@ -55,4 +55,11 @@ class PartitionError(ReproError):
 
 
 class ConfigError(ReproError):
-    """Invalid experiment or algorithm configuration."""
+    """Invalid experiment or algorithm configuration.
+
+    Also raised for violations of documented API contracts whose silent
+    acceptance would corrupt algorithm behavior — e.g. the 1-based
+    iteration numbering of ``GradientAllreduce.reduce``/``begin`` (a
+    non-positive ``t`` would shift every periodic schedule by a full
+    period).  Plain shape/type argument validation stays ``ValueError``.
+    """

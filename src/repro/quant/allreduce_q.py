@@ -83,7 +83,7 @@ class QuantizedOkTopkAllreduce(OkTopkAllreduce):
                 and max(sizes) > self.balance_trigger * total / p):
             idx, val = self._rebalance(comm, idx, val, sizes)
             balanced = True
-            self.balancing_triggered += 1
+            self._state.balancing_triggered += 1
         payload = QCOOPayload(n, idx, self.quantizer.encode(val))
         comm.compute_scan(len(val))
         pieces = coll.allgatherv(comm, payload)

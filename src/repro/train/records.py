@@ -34,6 +34,11 @@ class IterationRecord:
     #: under contention the measurement may fall on either side of the
     #: replay); ``None`` in analytic mode
     analytic_visible_comm: Optional[float] = None
+    #: True when ``overlap_mode="stream"`` was requested but the session
+    #: fell back to the post-backward delegating adapter (non-bucketable
+    #: scheme or one-bucket plan) — the timings of this iteration are
+    #: analytic, not discrete-event; never True in analytic mode
+    stream_fallback: bool = False
 
 
 @dataclass
@@ -102,9 +107,10 @@ class RunRecord:
             w.writerow(["t", "cum_time", "loss", "lr", "compute_time",
                         "sparsify_time", "comm_time", "iteration_time",
                         "overlap_saved", "nbuckets", "selected", "xi",
-                        "analytic_visible_comm"])
+                        "analytic_visible_comm", "stream_fallback"])
             for i, r in enumerate(self.records):
                 w.writerow([r.t, times[i], r.loss, r.lr, r.compute_time,
                             r.sparsify_time, r.comm_time,
                             r.iteration_time, r.overlap_saved, r.nbuckets,
-                            r.selected, r.xi, r.analytic_visible_comm])
+                            r.selected, r.xi, r.analytic_visible_comm,
+                            r.stream_fallback])

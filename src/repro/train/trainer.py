@@ -228,6 +228,7 @@ class Trainer:
                 xi = self._measure_xi(grad, t)
 
             analytic_visible: Optional[float] = None
+            stream_fallback = False
             if stream:
                 pacer = _BackwardPacer(comm, compute_time,
                                        cfg.overlap_backward_fraction,
@@ -247,6 +248,11 @@ class Trainer:
                 analytic_visible = visible_comm_time(
                     res.bucket_stats, compute_time,
                     cfg.overlap_backward_fraction, comm_t)
+                # Surface a session that could not stream (delegating
+                # adapter ran post-backward): these timings are analytic.
+                stream_fallback = bool(
+                    res.bucket_stats
+                    and res.bucket_stats[0].info.get("stream_fallback"))
             else:
                 step_clock = comm.clock
                 info = self.driver.step(comm, model.params_flat, grad)
@@ -280,6 +286,7 @@ class Trainer:
                 overlap_saved=max(0.0, comm_t - visible_comm),
                 nbuckets=res.nbuckets,
                 analytic_visible_comm=analytic_visible,
+                stream_fallback=stream_fallback,
             )
             if cfg.eval_every and self.eval_fn is not None and (
                     t % cfg.eval_every == 0 or t == cfg.iterations):

@@ -132,6 +132,52 @@ class TestSplitK:
     def test_empty_lengths(self):
         assert split_k(5, []) == []
 
+    # -- property-style sweeps over random budget/length configurations --
+
+    @staticmethod
+    def _random_cases(ncases=200, seed=1234):
+        rng = np.random.default_rng(seed)
+        for _ in range(ncases):
+            nb = int(rng.integers(1, 12))
+            lengths = [int(rng.integers(1, 500)) for _ in range(nb)]
+            k = int(rng.integers(0, 2 * sum(lengths)))
+            yield k, lengths
+
+    def test_property_shares_sum_exactly_to_k(self):
+        """sum(shares) == min(k, total) for any configuration — the global
+        budget is never inflated or silently dropped."""
+        for k, lengths in self._random_cases():
+            ks = split_k(k, lengths)
+            assert sum(ks) == min(k, sum(lengths)), (k, lengths, ks)
+            assert all(s >= 0 for s in ks)
+            assert all(s <= ln for s, ln in zip(ks, lengths)), \
+                (k, lengths, ks)
+
+    def test_property_every_bucket_funded_when_k_allows(self):
+        """k >= nbuckets: the donor-steal loop lifts every zero share to
+        one (mirroring resolve_k's floor of one selected element)."""
+        for k, lengths in self._random_cases(seed=77):
+            if k < len(lengths):
+                continue
+            ks = split_k(k, lengths)
+            assert min(ks) >= 1, (k, lengths, ks)
+
+    def test_property_remainder_ties_deterministic(self):
+        """Equal-length buckets with a non-divisible budget: remainder
+        ties break toward earlier buckets, identically on every call."""
+        ks = split_k(7, [100, 100, 100, 100])
+        assert ks == [2, 2, 2, 1]          # earlier buckets win the tie
+        for k, lengths in self._random_cases(seed=9):
+            assert split_k(k, lengths) == split_k(k, lengths)
+
+    def test_property_k_above_total_clamps(self):
+        """k > sum(lengths) clamps to the total: every element funded,
+        no share exceeds its bucket length."""
+        for _, lengths in self._random_cases(ncases=50, seed=5):
+            total = sum(lengths)
+            ks = split_k(total + 17, lengths)
+            assert ks == list(lengths)
+
 
 # ---------------------------------------------------------------------------
 # Session vs one-shot: bit-identical results, traffic and makespans
@@ -176,18 +222,51 @@ def test_session_bit_identical_to_oneshot(scheme):
 
 
 @pytest.mark.parametrize("scheme", ["oktopk", "oktopk_q"])
-def test_non_bucketable_session_ignores_bucket_size(scheme):
-    """Non-bucketable schemes delegate even with bucket_size set —
-    still bit-identical to one-shot."""
+def test_oktopk_single_bucket_plan_delegates(scheme):
+    """Ok-Topk with a one-bucket plan (bucket_size >= n) delegates to the
+    one-shot reduce — bit-identical results, traffic and makespans."""
     p, n, iters = 4, 256, 3
     ref, ref_stats, ref_clocks = _run_mode(scheme, p, n, iters,
                                            "oneshot", "coop")
     got, stats, clocks = _run_mode(scheme, p, n, iters, "session",
-                                   "coop", bucket_size=64)
+                                   "coop", bucket_size=10 * n)
     for t in range(iters):
         assert np.array_equal(ref[t], got[t])
     assert np.array_equal(ref_stats.words_recv, stats.words_recv)
     assert clocks == ref_clocks
+
+
+def test_non_bucketable_scheme_delegates_with_bucket_size():
+    """A scheme without the native path delegates even with bucket_size
+    set — still bit-identical to one-shot."""
+    from repro.allreduce import TopkAAllreduce
+
+    class NonBucketable(TopkAAllreduce):
+        name = "topka_nonbucketable_test"
+        bucketable = False
+
+    p, n, iters = 4, 256, 2
+    lay = _layout(n)
+
+    def prog(comm, mode):
+        algo = NonBucketable(density=0.1)
+        outs = []
+        for t in range(1, iters + 1):
+            acc = _acc(comm.rank, n, t)
+            if mode == "oneshot":
+                res = algo.reduce(comm, acc, t)
+            else:
+                res = run_session(algo, comm, lay, t, acc, bucket_size=64)
+            outs.append(res.update_dense(n).copy())
+        return outs
+
+    ref = run_spmd(p, prog, "oneshot")
+    got = run_spmd(p, prog, "session")
+    for t in range(iters):
+        assert np.array_equal(ref[0][t], got[0][t])
+    assert np.array_equal(ref.stats.words_recv, got.stats.words_recv)
+    assert [ref.network.clocks[r] for r in range(p)] == \
+           [got.network.clocks[r] for r in range(p)]
 
 
 def test_bucketed_identical_across_runners():
@@ -613,13 +692,75 @@ class TestStreamingOverlap:
                                                       rel=1e-12)
             assert rs.overlap_saved == 0.0
 
-    def test_stream_non_bucketable_scheme_safe(self):
-        """oktopk keeps the delegating adapter even under stream mode."""
+    def test_stream_oktopk_native_buckets(self):
+        """oktopk streams natively: multi-bucket plans issue on the clock
+        (no delegating fallback, no fallback flags)."""
         rec = _train("oktopk", p=2, bucket_size=64, net=COMM_BOUND_NET,
                      overlap_mode="stream",
                      scheme_kwargs={"tau": 2, "tau_prime": 2})
         assert np.isfinite(rec.losses).all()
+        assert all(r.nbuckets > 1 for r in rec.records)
+        assert not any(r.stream_fallback for r in rec.records)
+
+    def test_stream_fallback_recorded_for_non_bucketable_scheme(self):
+        """stream=True on a non-bucketable scheme is recorded: the
+        delegated bucket carries info["stream_fallback"] and a one-time
+        RuntimeWarning names the scheme."""
+        import warnings as _warnings
+
+        from repro.allreduce import TopkAAllreduce
+        from repro.allreduce.session import _STREAM_FALLBACK_WARNED
+
+        class NonBucketable(TopkAAllreduce):
+            name = "topka_stream_fallback_test"
+            bucketable = False
+
+        n = 256
+        lay = _layout(n)
+        _STREAM_FALLBACK_WARNED.discard(NonBucketable.name)
+
+        def prog(comm):
+            algo = NonBucketable(density=0.1)
+            res = run_session(algo, comm, lay, 1, _acc(comm.rank, n, 1),
+                              bucket_size=64, stream=True)
+            # second session: the warning is one-time per scheme
+            res2 = run_session(algo, comm, lay, 2, _acc(comm.rank, n, 2),
+                               bucket_size=64, stream=True)
+            return res, res2
+
+        with _warnings.catch_warnings(record=True) as caught:
+            _warnings.simplefilter("always")
+            res, res2 = run_spmd(1, prog)[0]
+        warned = [str(w.message) for w in caught
+                  if issubclass(w.category, RuntimeWarning)]
+        for r in (res, res2):
+            assert len(r.bucket_stats) == 1
+            assert r.bucket_stats[0].info.get("delegated")
+            assert r.bucket_stats[0].info.get("stream_fallback")
+        assert sum(NonBucketable.name in w for w in warned) == 1
+
+    def test_stream_fallback_surfaces_in_iteration_records(self):
+        """The trainer mirrors the session fallback flag into
+        IterationRecord.stream_fallback (benchmark readers must be able
+        to tell analytic timings from streamed ones)."""
+        from repro.allreduce import TopkAAllreduce
+        from repro.allreduce.registry import ALGORITHMS
+
+        class NonBucketable(TopkAAllreduce):
+            name = "topka_trainer_fallback_test"
+            bucketable = False
+
+        ALGORITHMS[NonBucketable.name] = NonBucketable
+        try:
+            rec = _train(NonBucketable.name, p=2, bucket_size=64,
+                         net=COMM_BOUND_NET, overlap_mode="stream")
+        finally:
+            del ALGORITHMS[NonBucketable.name]
+        assert all(r.stream_fallback for r in rec.records)
         assert all(r.nbuckets == 1 for r in rec.records)
+        # analytic mode never sets the flag
+        rec_an = _train("topka", p=2, bucket_size=64, net=COMM_BOUND_NET)
+        assert not any(r.stream_fallback for r in rec_an.records)
 
     def test_stream_runner_equivalence(self):
         """Streamed timelines are schedule-independent like everything
