@@ -76,6 +76,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..comm import SimComm, collectives as coll
+from ..comm import fused as _fused
 from ..errors import ConfigError
 from ..sparse import (
     COOVector,
@@ -95,6 +96,106 @@ from .session import BucketView
 
 _TAG_SR = (1 << 21) + 21      # split-and-reduce region pieces
 _TAG_BAL = (1 << 21) + 22     # data-balancing moves
+
+
+def _exec_split_reduce(net, sig, payloads):
+    """Fused executor for split-and-reduce (the macro-collective form of
+    :meth:`OkTopkAllreduce._split_and_reduce`'s exchange).
+
+    ``payloads[r]`` is rank ``r``'s region pieces (one COO vector per
+    destination).  The replay walks the rotation/naive schedule bucket by
+    bucket, reproducing the reference path's exact booking sequence per
+    rank — ``isend_batch``'s egress serialization (the shared
+    ``NetworkModel.isend_avail`` chain + ``serialize_batch``, the same
+    helpers ``Network.post_batch`` uses), the overlap
+    ``compute_words(2 * prev_words)`` charge, ``waitall``'s
+    arrival-sorted batched ingress delivery (one ``serialize_batch``
+    fold, exact for single messages too), and the send-request waits —
+    without creating a single message object or parking a single thread.
+    The reduction itself is one ``combine_sum`` per rank over the pieces
+    in static request order, exactly what the per-message path folds.
+    """
+    from .schedule import buckets as _buckets, make_steps
+    _, rotation, bucket_size = sig
+    p = len(payloads)
+    model = net.model
+    alpha, o_send = model.alpha, model.o_send
+    o_inject, gamma = model.o_inject, model.gamma
+    clocks = net.clocks
+    eg = net.egress_free
+    ing = net.ingress_free
+    nw = [[piece.comm_nwords() for piece in pieces] for pieces in payloads]
+    rank_buckets = [list(_buckets(make_steps(r, p, rotation), bucket_size))
+                    for r in range(p)]
+    nbuckets = len(rank_buckets[0])
+    prev_words = [0] * p
+    pending: List[List] = [[] for _ in range(p)]
+    for bb in range(nbuckets):
+        # -- posts: one batched egress booking per rank (isend_batch) ----
+        inbox: List[List[tuple]] = [[] for _ in range(p)]
+        send_dones: List[List[float]] = [[] for _ in range(p)]
+        for r in range(p):
+            sends = [dst for step in rank_buckets[r][bb]
+                     for dst in step.send_to]
+            if not sends:
+                continue
+            nwords = np.array([nw[r][dst] for dst in sends],
+                              dtype=np.float64)
+            n = nwords.size
+            avail = model.isend_avail(clocks[r], n)
+            starts, ends = model.serialize_batch(eg[r], avail, nwords)
+            eg[r] = float(ends[-1])
+            total = 0
+            starts_l = starts.tolist()
+            ends_l = ends.tolist()
+            for i, dst in enumerate(sends):
+                inbox[dst].append((starts_l[i] + alpha, r, nw[r][dst]))
+                send_dones[r].append(ends_l[i] + o_send)
+                total += nw[r][dst]
+            net.words_sent[r] += total
+            net.msgs_sent[r] += n
+            if o_inject:
+                for _ in range(n):
+                    clocks[r] += o_inject
+        # -- overlap: reduce the previous bucket while this one flies ----
+        for r in range(p):
+            if prev_words[r]:
+                clocks[r] += gamma * (2 * prev_words[r])
+        # -- waitall: arrival-sorted batched delivery + send waits -------
+        for r in range(p):
+            msgs = sorted(inbox[r])  # (t_first, src, nwords)
+            if msgs:
+                # serialize_batch is bit-identical to the one-message
+                # scalar fold (its fast paths cover n=1 exactly), so one
+                # call handles both the single and the batched delivery
+                avail = np.array([m[0] for m in msgs], dtype=np.float64)
+                nwords = np.array([m[2] for m in msgs], dtype=np.float64)
+                _, ends = model.serialize_batch(ing[r], avail, nwords)
+                td = float(ends[-1])
+                ing[r] = td
+                total = sum(m[2] for m in msgs)
+                if td > clocks[r]:
+                    clocks[r] = td
+                net.words_recv[r] += total
+                net.msgs_recv[r] += len(msgs)
+            for dn in send_dones[r]:
+                if dn > clocks[r]:
+                    clocks[r] = dn
+            # request order, not arrival order: the payload list the
+            # reference waitall returns follows the irecv creation order
+            arrived = [payloads[src][r] for step in rank_buckets[r][bb]
+                       for src in step.recv_from]
+            pending[r].extend(arrived)
+            prev_words[r] = sum(v.nnz for v in arrived)
+    out = []
+    for r in range(p):
+        if prev_words[r]:
+            clocks[r] += gamma * (2 * prev_words[r])
+        reduced = payloads[r][r]
+        if pending[r]:
+            reduced = combine_sum([reduced, *pending[r]])
+        out.append(reduced)
+    return out
 
 
 @dataclass
@@ -297,6 +398,13 @@ class OkTopkAllreduce(GradientAllreduce):
         reduced = pieces[r]
         if p == 1:
             return reduced
+        if _fused._available(comm):
+            # Fused macro-collective: the whole rotation schedule —
+            # batched egress posts, overlapped reductions, arrival-sorted
+            # deliveries — in one engine dispatch (see _exec_split_reduce).
+            return comm.fused_collective(
+                ("oktopk_sr", self.rotation, self.bucket_size), pieces,
+                _exec_split_reduce)
         steps = make_steps(r, p, self.rotation)
         # Simulated time is charged per bucket (the overlap model of
         # Figure 2c: the previous bucket's reduction hides behind the next

@@ -28,6 +28,28 @@ from ..train import RunRecord, Trainer, TrainerConfig, collapse_repeats, \
 
 
 # ---------------------------------------------------------------------------
+# Shared synthetic-dataset cache
+# ---------------------------------------------------------------------------
+#: (builder name, args) -> (train, test).  Every rank of an SPMD run — and
+#: every repetition of a benchmark — used to regenerate the *identical*
+#: seeded dataset from scratch; at P=16 that is 16 redundant generations
+#: per call.  Splits are immutable (arrays are write-locked here), so one
+#: shared instance per configuration is safe across ranks and runs.
+_SPLITS_MEMO: Dict[tuple, tuple] = {}
+
+
+def _memoized_splits(key: tuple, builder: Callable[[], tuple]) -> tuple:
+    out = _SPLITS_MEMO.get(key)
+    if out is None:
+        out = builder()
+        for split in out:
+            split.x.setflags(write=False)
+            split.y.setflags(write=False)
+        _SPLITS_MEMO[key] = out
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Proxy task definitions (the three paper workloads, numpy-sized)
 # ---------------------------------------------------------------------------
 @dataclass
@@ -46,8 +68,10 @@ class ProxySpec:
 def vgg_proxy(width_mult: float = 0.05, n_train: int = 128,
               noise: float = 0.6) -> ProxySpec:
     def make_splits():
-        return make_cifar_like(n_train, 32, image_size=32, noise=noise,
-                               seed=0)
+        return _memoized_splits(
+            ("cifar", n_train, 32, 32, noise, 0),
+            lambda: make_cifar_like(n_train, 32, image_size=32, noise=noise,
+                                    seed=0))
 
     def eval_builder(test):
         def evaluate(model):
@@ -64,8 +88,10 @@ def vgg_proxy(width_mult: float = 0.05, n_train: int = 128,
 
 def lstm_proxy(hidden: int = 32, n_train: int = 96) -> ProxySpec:
     def make_splits():
-        return make_an4_like(n_train, 24, features=12, seq_len=12,
-                             n_phones=8, seed=2)
+        return _memoized_splits(
+            ("an4", n_train, 24, 12, 12, 8, 2),
+            lambda: make_an4_like(n_train, 24, features=12, seq_len=12,
+                                  n_phones=8, seed=2))
 
     def eval_builder(test):
         def evaluate(model):
@@ -92,8 +118,10 @@ def bert_proxy(hidden: int = 32, layers: int = 2,
                      intermediate=2 * hidden, max_seq=16)
 
     def make_splits():
-        return make_wikipedia_like(n_train, 32, vocab=200, seq_len=16,
-                                   seed=4)
+        return _memoized_splits(
+            ("wiki", n_train, 32, 200, 16, 4),
+            lambda: make_wikipedia_like(n_train, 32, vocab=200, seq_len=16,
+                                        seed=4))
 
     def eval_builder(test):
         def evaluate(model):
@@ -131,8 +159,10 @@ def perf_proxy(hidden: int = 64, image_size: int = 16,
                          flops_per_sample=2.0 * feats * hidden)
 
     def make_splits():
-        return make_cifar_like(n_train, 16, image_size=image_size,
-                               noise=0.6, seed=0)
+        return _memoized_splits(
+            ("cifar", n_train, 16, image_size, 0.6, 0),
+            lambda: make_cifar_like(n_train, 16, image_size=image_size,
+                                    noise=0.6, seed=0))
 
     return ProxySpec(name="perf_mlp", make_model=make_model,
                      make_splits=make_splits, global_batch=16, lr=0.05,

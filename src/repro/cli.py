@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--runner", choices=["coop", "threads"], default=None,
         help="SPMD runner: cooperative single-threaded engine (default) or "
              "the legacy thread-per-rank fallback")
+    ap.add_argument(
+        "--no-fused", action="store_true",
+        help="force the per-message reference path for collectives "
+             "(disables the fused fast path; same as REPRO_FUSED=0)")
     sub = ap.add_subparsers(dest="command", required=True)
 
     vol = sub.add_parser("volume", help="measured vs analytic volume")
@@ -193,6 +197,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .comm import RUNNER_ENV
         os.environ[RUNNER_ENV] = args.runner
+    if args.no_fused:
+        import os
+
+        from .comm import FUSED_ENV
+        os.environ[FUSED_ENV] = "0"
     return args.fn(args)
 
 

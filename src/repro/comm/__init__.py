@@ -19,11 +19,19 @@ engine by default (single-threaded hot path, zero-copy sends, deadlock
 detection); pass ``runner="threads"`` (or set ``REPRO_SPMD_RUNNER``) for
 the legacy thread-per-rank runner.  Results, traffic counters and simulated
 makespans are identical under both — see :mod:`repro.comm.launcher`.
+
+Collectives additionally run through the **fused fast path** on the
+cooperative engine (whole collectives executed as single vectorized
+dispatches at an engine rendezvous, bit-identical to the per-message
+reference rounds); disable it with ``REPRO_FUSED=0``,
+``run_spmd(..., fused=False)`` or ``repro-bench --no-fused`` — see
+:mod:`repro.comm.fused`.
 """
 
 from . import collectives
 from .communicator import AsyncRegion, SimComm
 from .engine import CoopEngine
+from .fused import FUSED_ENV, fusion_enabled
 from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
 from .message import RecvRequest, Request, SendRequest
 from .model import NetworkModel
@@ -38,6 +46,8 @@ __all__ = [
     "run_spmd",
     "resolve_runner",
     "RUNNER_ENV",
+    "FUSED_ENV",
+    "fusion_enabled",
     "CoopEngine",
     "Request",
     "SendRequest",

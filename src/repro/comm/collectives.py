@@ -16,6 +16,18 @@ cost model refers to (Chan et al. 2007, Thakur et al. 2005):
 
 All functions take the communicator as the first argument and are pure with
 respect to their inputs (arrays are never mutated).
+
+Fused fast path
+---------------
+
+Under the cooperative engine each collective first tries the **fused**
+execution path (:mod:`repro.comm.fused`): the whole collective runs as one
+engine-level macro-dispatch — a compiled message schedule booked in a few
+vectorized passes plus one stacked-numpy reduction — bit-identical to the
+per-message rounds below in results, traffic counters and simulated
+makespans.  The per-message implementations in this module remain the
+reference path (threaded runner, traced networks, ``P = 1``, non-``add``
+ops, or ``REPRO_FUSED=0``).
 """
 
 from __future__ import annotations
@@ -25,23 +37,28 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import fused as _fused
+# Tag namespace for collectives (defined next to the schedule compiler,
+# re-exported here for back-compat); user point-to-point traffic should
+# stay below _TAG_BASE so interleaved calls cannot mismatch.
+from .fused import (  # noqa: F401  (re-exported names)
+    _TAG_BASE,
+    TAG_A2A,
+    TAG_AG,
+    TAG_AGV,
+    TAG_ALLREDUCE,
+    TAG_BARRIER,
+    TAG_BCAST,
+    TAG_FOLD,
+    TAG_GATHER,
+    TAG_REDUCE,
+    TAG_RS,
+    TAG_SCATTER,
+)
 from .communicator import SimComm
 from .payload import nwords as payload_nwords
 
-# Tag namespace for collectives; user point-to-point traffic should stay
-# below this so interleaved calls cannot mismatch.
-_TAG_BASE = 1 << 20
-TAG_BARRIER = _TAG_BASE + 1
-TAG_BCAST = _TAG_BASE + 2
-TAG_REDUCE = _TAG_BASE + 3
-TAG_ALLREDUCE = _TAG_BASE + 4
-TAG_RS = _TAG_BASE + 5
-TAG_AG = _TAG_BASE + 6
-TAG_AGV = _TAG_BASE + 7
-TAG_A2A = _TAG_BASE + 8
-TAG_GATHER = _TAG_BASE + 9
-TAG_SCATTER = _TAG_BASE + 10
-TAG_FOLD = _TAG_BASE + 11
+_UNFUSED = _fused.UNFUSED
 
 
 def _is_pow2(p: int) -> bool:
@@ -66,6 +83,8 @@ def _block_slices(n: int, p: int) -> Tuple[slice, ...]:
 # ---------------------------------------------------------------------------
 def barrier(comm: SimComm) -> None:
     """Dissemination barrier: ``ceil(log2 P)`` zero-byte rounds."""
+    if _fused.fused_barrier(comm) is not _UNFUSED:
+        return
     p, r = comm.size, comm.rank
     d = 1
     while d < p:
@@ -82,6 +101,9 @@ def barrier(comm: SimComm) -> None:
 # ---------------------------------------------------------------------------
 def bcast(comm: SimComm, obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
+    out = _fused.fused_bcast(comm, obj, root)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     vrank = (r - root) % p
     mask = 1
@@ -102,6 +124,9 @@ def reduce(comm: SimComm, arr: np.ndarray, root: int = 0,
            op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
            ) -> Optional[np.ndarray]:
     """Binomial-tree reduction; the result is returned on ``root`` only."""
+    out = _fused.fused_reduce(comm, arr, root, op)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     vrank = (r - root) % p
     acc = np.array(arr, copy=True)
@@ -165,6 +190,9 @@ def allreduce_recursive_doubling(comm: SimComm, arr: np.ndarray,
                                  op=np.add) -> np.ndarray:
     """Recursive-doubling allreduce: ``log P`` exchange rounds of the full
     vector.  Latency-optimal; bandwidth ``(log P) n beta``."""
+    out = _fused.fused_allreduce(comm, arr, op, "recursive_doubling")
+    if out is not _UNFUSED:
+        return out
     p = comm.size
     acc = np.array(arr, copy=True)
     if p == 1:
@@ -230,6 +258,9 @@ def allreduce_rabenseifner(comm: SimComm, arr: np.ndarray,
                            op=np.add) -> np.ndarray:
     """Rabenseifner's allreduce: bandwidth-optimal ``2 n (P-1)/P beta`` with
     ``2 log P`` latency terms.  This is the "Dense" row of Table 1."""
+    out = _fused.fused_allreduce(comm, arr, op, "rabenseifner")
+    if out is not _UNFUSED:
+        return out
     p = comm.size
     acc = np.array(arr, copy=True)
     if p == 1:
@@ -250,6 +281,9 @@ def reduce_scatter_ring(comm: SimComm, arr: np.ndarray,
     Returns ``(reduced_block, block_slice)`` where ``block_slice`` is rank
     ``i``'s block ``i`` of the input.
     """
+    out = _fused.fused_reduce_scatter_ring(comm, arr, op)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     work = np.array(arr, copy=True)
     slices = _block_slices(arr.size, p)
@@ -274,6 +308,12 @@ def allgather_ring(comm: SimComm, block: np.ndarray, n: int,
                    out: Optional[np.ndarray] = None) -> np.ndarray:
     """Ring allgather of per-rank contiguous blocks into a length-``n``
     vector partitioned like :func:`_block_slices`."""
+    full = _fused.fused_allgather_ring(comm, block, n)
+    if full is not _UNFUSED:
+        if out is None:
+            return full
+        out[:] = full
+        return out
     p, r = comm.size, comm.rank
     slices = _block_slices(n, p)
     result = np.zeros(n, dtype=block.dtype) if out is None else out
@@ -332,6 +372,9 @@ def allgatherv(comm: SimComm, block: np.ndarray) -> List[np.ndarray]:
     balanced data is the paper's ``2k (P-1)/P`` term for Ok-Topk's final
     allgatherv.
     """
+    out = _fused.fused_allgatherv(comm, block)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     held: List[np.ndarray] = [block]  # held[j] = block of rank (r + j) % p
     # Each block's wire size is computed once on arrival and carried along;
@@ -369,6 +412,9 @@ def allgatherv_coo(comm: SimComm, vec: Any) -> List[Any]:
 
 def allgather_object(comm: SimComm, obj: Any) -> List[Any]:
     """Allgather of small Python objects (sizes, flags); Bruck schedule."""
+    out = _fused.fused_allgather_object(comm, obj)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     held: List[Any] = [obj]
     d = 1
@@ -389,6 +435,9 @@ def alltoallv(comm: SimComm, blocks: Sequence[Any]) -> List[Any]:
     p, r = comm.size, comm.rank
     if len(blocks) != p:
         raise ValueError(f"alltoallv needs exactly P={p} blocks")
+    res = _fused.fused_alltoallv(comm, blocks)
+    if res is not _UNFUSED:
+        return res
     out: List[Any] = [None] * p
     out[r] = blocks[r]
     for s in range(1, p):
@@ -406,6 +455,9 @@ def alltoall(comm: SimComm, blocks: Sequence[Any]) -> List[Any]:
 # Gather / scatter (linear)
 # ---------------------------------------------------------------------------
 def gather(comm: SimComm, obj: Any, root: int = 0) -> Optional[List[Any]]:
+    out = _fused.fused_gather(comm, obj, root)
+    if out is not _UNFUSED:
+        return out
     p, r = comm.size, comm.rank
     if r == root:
         out = [None] * p
@@ -420,9 +472,12 @@ def gather(comm: SimComm, obj: Any, root: int = 0) -> Optional[List[Any]]:
 def scatter(comm: SimComm, objs: Optional[Sequence[Any]],
             root: int = 0) -> Any:
     p, r = comm.size, comm.rank
+    if r == root and (objs is None or len(objs) != p):
+        raise ValueError(f"scatter root needs exactly P={p} objects")
+    out = _fused.fused_scatter(comm, objs, root)
+    if out is not _UNFUSED:
+        return out
     if r == root:
-        if objs is None or len(objs) != p:
-            raise ValueError(f"scatter root needs exactly P={p} objects")
         for dst in comm.peers():
             comm.send(objs[dst], dst, TAG_SCATTER)
         return objs[r]

@@ -79,6 +79,20 @@ def _view(obj: Any) -> Any:
     return obj
 
 
+def _root_base(obj: np.ndarray) -> Any:
+    """The owning object at the bottom of ``obj``'s view chain.
+
+    ``None`` when ``obj`` owns its data; otherwise the deepest ``.base``
+    — usually an ndarray, but possibly a non-array buffer (``bytes``,
+    ``memoryview``, ``mmap`` for ``np.frombuffer`` arrays), which callers
+    must handle.
+    """
+    base = obj.base
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    return base
+
+
 def _view_with_loans(obj: Any, net: Network,
                      loans: List[int]) -> Any:
     """Like :func:`_view`, but write-locks loanable sender buffers.
@@ -109,11 +123,13 @@ def _view_with_loans(obj: Any, net: Network,
             # then).  If the owner is writable, snapshot.  Only when the
             # owner itself is read-only (and not ours) is the buffer
             # genuinely immutable.
-            base = obj.base
-            while base is not None and base.base is not None:
-                base = base.base
+            base = _root_base(obj)
             if base is None:
                 return obj
+            if not isinstance(base, np.ndarray):
+                # Non-array backing buffer (np.frombuffer): snapshot —
+                # numpy flags cannot vouch for its immutability.
+                return _freeze(obj, readonly=True)
             bentry = net._loans.get(id(base))
             if bentry is not None:
                 bentry[1] += 1
@@ -135,6 +151,59 @@ def _view_with_loans(obj: Any, net: Network,
     if isinstance(obj, dict):
         return {k: _view_with_loans(v, net, loans) for k, v in obj.items()}
     return obj
+
+
+def send_snapshot(obj: Any, net: Network) -> Any:
+    """Payload snapshot for a blocking (eager) ``send`` under the
+    cooperative runner: what the receiver will hold.
+
+    Mutable payloads are deep-copied read-only at post time (the buffer
+    is reusable the moment ``send`` returns — the eager contract).  The
+    PR-5 audit of the object-payload collectives (``bcast``,
+    ``allgather_object``, ``gather``/``scatter``) showed the copy is
+    avoidable for arrays that are already **read-only at post time**:
+    nobody reachable through the posted view can write them, so they
+    travel as zero-copy views, exactly like the immutable-payload
+    (``comm_nwords``) fast path.  Two exclusions keep the audit honest:
+
+    * an array (or the owner of its buffer) that is currently **on
+      loan** to an in-flight ``isend`` is only temporarily read-only —
+      it becomes writable again when the loan ends, so it is copied;
+    * re-enabling writability by hand (``setflags(write=True)`` on an
+      owning array you posted while read-only) and then mutating before
+      delivery violates the reuse contract, same as writing through a
+      pre-existing writable alias of a loaned ``isend`` buffer — numpy
+      offers no deep immutability to enforce it.
+    """
+    if obj is None or hasattr(obj, "comm_nwords"):
+        return obj
+    if isinstance(obj, np.ndarray):
+        if obj.flags.writeable:
+            return _freeze(obj, readonly=True)
+        base = _root_base(obj)
+        if base is None:
+            owner = obj
+        elif isinstance(base, np.ndarray):
+            if base.flags.writeable:
+                # A read-only *view* of a writable buffer: the owner can
+                # still mutate after the send returns — snapshot.
+                return _freeze(obj, readonly=True)
+            owner = base
+        else:
+            # Exotic backing buffer (bytes/memoryview/mmap): numpy flags
+            # say nothing about its mutability — snapshot, as before.
+            return _freeze(obj, readonly=True)
+        if id(owner) in net._loans:
+            # Read-only only while the loan lasts: snapshot.
+            return _freeze(obj, readonly=True)
+        return obj.view()
+    if isinstance(obj, tuple):
+        return tuple(send_snapshot(v, net) for v in obj)
+    if isinstance(obj, list):
+        return [send_snapshot(v, net) for v in obj]
+    if isinstance(obj, dict):
+        return {k: send_snapshot(v, net) for k, v in obj.items()}
+    return _freeze(obj, readonly=True)
 
 
 class AsyncRegion:
@@ -231,13 +300,9 @@ class SimComm:
         self.compute(self.net.model.sort_time * n * max(1.0, np.log2(max(n, 2))))
 
     def compute_topk(self, n: int, k: int) -> None:
-        """Charge a GPU top-k selection over ``n`` words.
-
-        Modeled as ``sort_time * n * log2(k)`` — between the bitonic
-        ``n log^2 k`` worst case and radix-select's ``n`` (torch.topk, the
-        primitive the paper's baselines call, sits in this regime)."""
-        n, k = max(0, n), max(2, k)
-        self.compute(self.net.model.sort_time * n * np.log2(k))
+        """Charge a GPU top-k selection over ``n`` words (the formula
+        lives in :meth:`NetworkModel.topk_seconds`)."""
+        self.compute(self.net.model.topk_seconds(n, k))
 
     def compute_flops(self, flops: float) -> None:
         """Charge ``flops`` floating point operations of model compute."""
@@ -270,7 +335,7 @@ class SimComm:
         """Blocking (eager) send; sender clock advances past egress
         serialization of the message.  The buffer is reusable on return."""
         size = payload_nwords(obj) if nwords is None else int(nwords)
-        payload = (_freeze(obj, readonly=True) if self.net.cooperative
+        payload = (send_snapshot(obj, self.net) if self.net.cooperative
                    else _freeze(obj))
         _, done = self.net.post(self.rank, dest, tag, payload, size,
                                 self.clock)
@@ -398,6 +463,22 @@ class SimComm:
                 r.wait()
                 results.append(None)
         return results
+
+    # ------------------------------------------------------------------
+    # Fused collectives (engine-level macro-collectives)
+    # ------------------------------------------------------------------
+    def fused_collective(self, sig: tuple, payload: Any, executor) -> Any:
+        """Enter a fused collective rendezvous (cooperative engine only;
+        callers gate on :func:`repro.comm.fused._available` first).
+
+        Parks this rank until every rank has arrived with an identical
+        ``sig``, lets the last arrival run ``executor(net, sig,
+        payloads)`` — one vectorized dispatch replacing the per-message
+        round trips — and returns this rank's slot of the result list.
+        See :mod:`repro.comm.fused` and
+        :meth:`repro.comm.engine.CoopEngine.collective`.
+        """
+        return self.net._sched.collective(self.rank, sig, payload, executor)
 
     # internal hooks used by RecvRequest/SendRequest ---------------------
     def _try_match(self, source: int, tag: int) -> Optional[Message]:

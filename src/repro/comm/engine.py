@@ -36,19 +36,45 @@ import threading
 from collections import deque
 from typing import Any, Callable, Dict, List, Tuple
 
+from typing import Optional
+
 from ..errors import CommError, DeadlockError
 from .communicator import SimComm
+from .fused import fusion_enabled
 from .message import Message
 from .network import Network
 from .payload import freeze as _freeze
 
 
+class _Rendezvous:
+    """State of one in-progress fused collective (engine-level
+    macro-collective).  At most one exists at a time: every rank of the
+    network participates in every collective, so a rank cannot reach
+    rendezvous ``g + 1`` before generation ``g`` completed."""
+
+    __slots__ = ("sig", "payloads", "results", "count")
+
+    def __init__(self, sig: tuple, nranks: int):
+        self.sig = sig
+        self.payloads: list = [None] * nranks
+        self.results: list = []
+        self.count = 0
+
+
 class CoopEngine:
     """One-shot cooperative scheduler for a single SPMD section."""
 
-    def __init__(self, net: Network, nranks: int):
+    def __init__(self, net: Network, nranks: int, *,
+                 fused: Optional[bool] = None):
         self.net = net
         self.nranks = nranks
+        #: fused-collective fast path (see repro.comm.fused); resolved
+        #: from REPRO_FUSED when not given explicitly
+        self.fused = fusion_enabled() if fused is None else bool(fused)
+        #: in-progress fused collective, if any
+        self._rv: Optional[_Rendezvous] = None
+        #: ranks parked at the rendezvous (in arrival order)
+        self._rv_parked: list[int] = []
         # Parking slots: raw locks are the cheapest wait/wake primitive in
         # CPython (a bare futex, ~3x cheaper than Event).  Each lock starts
         # acquired; "wake" = release, "park" = acquire.  The engine's
@@ -163,6 +189,53 @@ class CoopEngine:
             self._waiting[dst] = (source, tag)
             self._suspend(dst)
 
+    def collective(self, rank: int, sig: tuple, payload, executor):
+        """Run a fused collective: park ``rank`` at the rendezvous until
+        every rank has arrived, then execute once, centrally.
+
+        ``sig`` is the collective's structural signature — it must be
+        identical on every rank (same collective, entered in the same
+        global order; SPMD programs satisfy this by construction, and a
+        mismatch aborts the run instead of deadlocking rank by rank).
+        ``payload`` carries the rank's data contribution and ``executor``
+        (a module-level function, identical across ranks) receives
+        ``(net, sig, payloads)`` and returns the per-rank results.
+
+        The last arrival executes while holding the token, so the whole
+        collective — schedule replay and stacked-numpy reduction — runs
+        as one uninterrupted dispatch; the parked ranks are then made
+        runnable in rank order.  Aborts (including the deadlock detector,
+        which treats rendezvous-parked ranks as blocked) wake parked
+        ranks through :meth:`_hand_off`'s abort branch.
+        """
+        net = self.net
+        net._check_abort()
+        rv = self._rv
+        if rv is None:
+            rv = self._rv = _Rendezvous(sig, self.nranks)
+        elif rv.sig != sig:
+            exc = CommError(
+                f"fused collective mismatch: rank {rank} entered {sig[0]!r} "
+                f"{sig!r} while other ranks are in {rv.sig!r} — all ranks "
+                f"must run the same collectives in the same order")
+            net.abort(exc)
+            raise exc
+        rv.payloads[rank] = payload
+        rv.count += 1
+        if rv.count < self.nranks:
+            self._rv_parked.append(rank)
+            self._suspend(rank)
+            net._check_abort()
+            return rv.results[rank]
+        # Last arrival: run the whole collective as one fused dispatch.
+        self._rv = None
+        rv.results = executor(net, sig, rv.payloads)
+        parked = self._rv_parked
+        self._rv_parked = []
+        parked.sort()
+        self._ready.extend(parked)
+        return rv.results[rank]
+
     def try_match(self, dst: int, source: int, tag: int):
         """Non-blocking probe.  On a miss, yield the token once (requeue
         ``dst`` behind the currently runnable ranks) before answering, so
@@ -206,16 +279,26 @@ class CoopEngine:
         if self._ready:
             self._resume[self._ready.popleft()].release()
             return
-        if self._waiting:
+        if self._waiting or self._rv_parked:
             if not self.net.aborted:
-                blocked = {r: self._waiting[r] for r in sorted(self._waiting)}
+                parts = [f"rank {r} waiting on (source={s}, tag={t})"
+                         for r, (s, t) in sorted(self._waiting.items())]
+                if self._rv_parked:
+                    sig = self._rv.sig if self._rv is not None else ("?",)
+                    parts.extend(
+                        f"rank {r} parked at the {sig[0]!r} fused-collective "
+                        f"rendezvous" for r in sorted(self._rv_parked))
+                nblocked = len(self._waiting) + len(self._rv_parked)
                 self.net.abort(DeadlockError(
-                    f"all {len(blocked)} live rank(s) blocked on receives "
-                    f"that can never match: "
-                    + ", ".join(f"rank {r} waiting on (source={s}, tag={t})"
-                                for r, (s, t) in blocked.items())))
-            rank = min(self._waiting)
-            del self._waiting[rank]
+                    f"all {nblocked} live rank(s) blocked on receives or "
+                    f"collective rendezvous that can never match: "
+                    + ", ".join(parts)))
+            if self._waiting:
+                rank = min(self._waiting)
+                del self._waiting[rank]
+            else:
+                rank = min(self._rv_parked)
+                self._rv_parked.remove(rank)
             self._resume[rank].release()
             return
         self._main.release()

@@ -1,0 +1,849 @@
+"""Fused collective fast path: schedule compilation + vectorized execution.
+
+The per-message collectives in :mod:`repro.comm.collectives` are faithful
+but interpreted: every round is a handful of Python-level ``isend``/``recv``
+calls, each paying for payload wrapping, a ``Message`` object, mailbox
+bookkeeping and — under the cooperative engine — a parked-thread hand-off
+whenever a receive misses.  For a P-rank collective that is ``O(P log P)``
+context switches per call, which dominates the simulator's wall-clock
+(``BENCH_PERF.json``).
+
+This module removes that interpreter overhead without changing a single
+simulated timestamp.  Every collective is split into:
+
+* a pure **schedule compiler** — ``compile_*`` functions that, given
+  ``(P, element count, words-per-element, algorithm)`` (plus per-rank
+  payload sizes for the ``v`` collectives), emit the complete message
+  schedule: per-round ``(src, dst, nwords, tag)`` including the
+  non-power-of-two fold-in/fold-out ranks, Rabenseifner block slices,
+  ring segments and Bruck dissemination hops, together with the local
+  reduction charges.  Compilation never touches data and is cached per
+  signature;
+* a **fused executor** — :func:`replay` books the entire compiled
+  schedule against the shared :class:`~repro.comm.network.Network` state
+  in a few vectorized passes (one numpy expression per round phase,
+  element-wise and therefore **bit-identical** to the scalar
+  per-message fold), and the ``_data_*`` functions compute every rank's
+  result centrally with stacked numpy — reproducing the exact
+  floating-point association order of the per-message algorithms (the
+  butterfly/halving trees and the ring fold are balanced‑tree /
+  sequential folds of *commutative* ``np.add`` applications, so the
+  vectorized pairings below are bit-equal; fusion is gated on
+  ``op is np.add`` for exactly this reason).
+
+Execution model (the engine side lives in :mod:`repro.comm.engine`): a
+rank entering a fused collective parks at a **rendezvous**; when the last
+rank of the communicator arrives, that rank compiles (or re-uses) the
+schedule, replays it, computes all results, and wakes everyone.  One
+park/wake per rank per collective replaces one per blocked receive.
+
+Correctness of the central replay relies on two existing invariants:
+
+* simulated time is *schedule independent* — egress links are booked in
+  sender program order and ingress links in receiver program order, so
+  the replay only has to process rounds in dependency order, not
+  reproduce any particular thread interleaving;
+* while all P ranks are inside the collective no other traffic can be
+  *posted*, and everything posted earlier has already booked its egress
+  slot (pending undelivered messages book ingress later, in receiver
+  program order — after the collective's own receives, exactly as in the
+  per-message run).  Fused collectives issued inside an
+  :class:`~repro.comm.communicator.AsyncRegion` therefore contend with
+  in-flight bucket traffic through the link-occupancy state alone, the
+  same way ``serialize_batch`` bookings do.
+
+The per-message implementations remain the reference path (and the only
+path for the threaded runner, traced networks, ``P = 1`` and non-``add``
+reduction ops); ``REPRO_FUSED=0`` / ``run_spmd(..., fused=False)`` /
+``repro-bench --no-fused`` force it everywhere, giving a three-way
+bit-identity oracle (fused-coop == per-message-coop == threads) enforced
+by ``tests/test_fused_collectives.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .payload import nwords as payload_nwords
+
+# ---------------------------------------------------------------------------
+# Tag namespace for collectives (shared with repro.comm.collectives, which
+# re-exports these names).  User point-to-point traffic should stay below
+# _TAG_BASE so interleaved calls cannot mismatch.
+# ---------------------------------------------------------------------------
+_TAG_BASE = 1 << 20
+TAG_BARRIER = _TAG_BASE + 1
+TAG_BCAST = _TAG_BASE + 2
+TAG_REDUCE = _TAG_BASE + 3
+TAG_ALLREDUCE = _TAG_BASE + 4
+TAG_RS = _TAG_BASE + 5
+TAG_AG = _TAG_BASE + 6
+TAG_AGV = _TAG_BASE + 7
+TAG_A2A = _TAG_BASE + 8
+TAG_GATHER = _TAG_BASE + 9
+TAG_SCATTER = _TAG_BASE + 10
+TAG_FOLD = _TAG_BASE + 11
+
+#: sentinel returned by the ``fused_*`` entry points when the fast path is
+#: unavailable (wrong runner, tracing, P=1, non-add op, fusion disabled)
+UNFUSED = object()
+
+#: environment variable disabling the fused fast path ("0"/"false"/"off")
+FUSED_ENV = "REPRO_FUSED"
+
+
+def fusion_enabled() -> bool:
+    """Whether the fused fast path is enabled for new engines (env gate)."""
+    return os.environ.get(FUSED_ENV, "1").lower() not in (
+        "0", "false", "off", "no")
+
+
+def _available(comm) -> bool:
+    """Cheap gate: fused execution needs the cooperative engine (with
+    fusion on), more than one rank, and no message tracing (the reference
+    path emits per-message ``TraceRecord``\\ s the replay does not)."""
+    net = comm.net
+    sched = net._sched
+    return (sched is not None and getattr(sched, "fused", False)
+            and not net.trace_enabled and comm.size > 1)
+
+
+# ---------------------------------------------------------------------------
+# Schedule IR
+# ---------------------------------------------------------------------------
+#: round styles: _SENDRECV = post, +o_inject, recv (max), tail (max own
+#: done), reduce; _ONEWAY = blocking posts (tail right after the post, per
+#: sender program order), then recvs (max), then reduce.
+_SENDRECV, _ONEWAY = 0, 1
+
+
+class Round:
+    """One dependency level of a compiled schedule.
+
+    ``post``/``recv`` are index arrays into the schedule's message table.
+    For ``_SENDRECV`` rounds they are aligned by actor: ``post[i]`` is the
+    message actor ``i`` sends and ``recv[i]`` the one it receives.
+    ``post_seq`` marks rounds whose posts share an egress link and must be
+    folded sequentially with the blocking-send clock advance in between
+    (scatter); ``recv_seq`` marks shared-ingress delivery fans (gather).
+    ``reduce_words`` (aligned with ``recv``) charges the receiver's local
+    reduction (``compute_words``) after the round; ``extra_seconds``
+    (same alignment) charges absolute seconds after that — the slot for
+    data-dependent selection costs (gtopk's per-level ``compute_topk``).
+    """
+
+    __slots__ = ("style", "post", "recv", "reduce_words", "post_seq",
+                 "recv_seq", "extra_seconds")
+
+    def __init__(self, style: int, post, recv, reduce_words=None,
+                 post_seq: bool = False, recv_seq: bool = False,
+                 extra_seconds=None):
+        self.style = style
+        self.post = post
+        self.recv = recv
+        self.reduce_words = reduce_words
+        self.post_seq = post_seq
+        self.recv_seq = recv_seq
+        self.extra_seconds = extra_seconds
+
+
+class Schedule:
+    """A compiled collective: message table + rounds + per-rank totals."""
+
+    __slots__ = ("p", "src", "dst", "nw", "nw_f", "tag", "rounds",
+                 "words_sent", "words_recv", "msgs_sent", "msgs_recv")
+
+    def __init__(self, p: int, src, dst, nw, tag, rounds):
+        self.p = p
+        self.src = np.asarray(src, dtype=np.int64)
+        self.dst = np.asarray(dst, dtype=np.int64)
+        self.nw = np.asarray(nw, dtype=np.int64)
+        self.nw_f = self.nw.astype(np.float64)
+        self.tag = np.asarray(tag, dtype=np.int64)
+        self.rounds = tuple(rounds)
+        # every compiled message is delivered, so the totals are symmetric
+        # sums over the table (ints, to match the counter lists exactly)
+        self.words_sent = [0] * p
+        self.words_recv = [0] * p
+        self.msgs_sent = [0] * p
+        self.msgs_recv = [0] * p
+        for s, d, w in zip(src, dst, nw):
+            self.words_sent[s] += int(w)
+            self.words_recv[d] += int(w)
+            self.msgs_sent[s] += 1
+            self.msgs_recv[d] += 1
+
+    @property
+    def nmsgs(self) -> int:
+        return int(self.src.size)
+
+    def messages(self) -> List[Tuple[int, int, int, int]]:
+        """The full message list as ``(src, dst, nwords, tag)`` tuples (in
+        schedule order) — the property-test surface."""
+        return list(zip(self.src.tolist(), self.dst.tolist(),
+                        self.nw.tolist(), self.tag.tolist()))
+
+
+class _Builder:
+    """Accumulates the message table and rounds during compilation."""
+
+    __slots__ = ("p", "src", "dst", "nw", "tag", "rounds")
+
+    def __init__(self, p: int):
+        self.p = p
+        self.src: List[int] = []
+        self.dst: List[int] = []
+        self.nw: List[int] = []
+        self.tag: List[int] = []
+        self.rounds: List[Round] = []
+
+    def msg(self, src: int, dst: int, nwords_: int, tag: int) -> int:
+        i = len(self.src)
+        self.src.append(src)
+        self.dst.append(dst)
+        self.nw.append(int(nwords_))
+        self.tag.append(tag)
+        return i
+
+    def round(self, style: int, post: Sequence[int], recv: Sequence[int],
+              reduce_words: Optional[Sequence[int]] = None,
+              post_seq: bool = False, recv_seq: bool = False,
+              extra_seconds: Optional[Sequence[float]] = None) -> None:
+        self.rounds.append(Round(
+            style,
+            np.asarray(post, dtype=np.int64) if len(post) else None,
+            np.asarray(recv, dtype=np.int64) if len(recv) else None,
+            (np.asarray(reduce_words, dtype=np.float64)
+             if reduce_words is not None else None),
+            post_seq, recv_seq,
+            (np.asarray(extra_seconds, dtype=np.float64)
+             if extra_seconds is not None else None)))
+
+    def build(self) -> Schedule:
+        return Schedule(self.p, self.src, self.dst, self.nw, self.tag,
+                        self.rounds)
+
+
+# ---------------------------------------------------------------------------
+# The vectorized executor
+# ---------------------------------------------------------------------------
+def replay(net, sched: Schedule) -> None:
+    """Book a compiled schedule against the network, bit-identically to
+    the per-message run.
+
+    Per round: all posts (egress bookings, element-wise ``max``/``+`` over
+    the senders — identical IEEE operations to the scalar path), then all
+    deliveries (ingress bookings in receiver program order), then the
+    senders' completion advance and the receivers' reduction charges.
+    Rounds that share a link across messages (linear gather/scatter) fall
+    back to the exact scalar fold.  Clocks, link occupancy and the traffic
+    counters end up exactly where ``P log P`` individual ``post``/
+    ``deliver`` calls would have left them.
+    """
+    model = net.model
+    beta = model.beta
+    alpha = model.alpha
+    o_send = model.o_send
+    o_inject = model.o_inject
+    gamma = model.gamma
+    clocks = np.asarray(net.clocks, dtype=np.float64)
+    eg = np.asarray(net.egress_free, dtype=np.float64)
+    ing = np.asarray(net.ingress_free, dtype=np.float64)
+    msrc, mdst, mnw = sched.src, sched.dst, sched.nw_f
+    t_first = np.empty(sched.nmsgs, dtype=np.float64)
+    done = np.empty(sched.nmsgs, dtype=np.float64)
+    for rnd in sched.rounds:
+        pi = rnd.post
+        if pi is not None:
+            if rnd.post_seq:
+                # shared egress link: exact scalar fold, blocking-send
+                # clock advance between posts (scatter's linear loop)
+                for i in pi.tolist():
+                    s = int(msrc[i])
+                    ts = eg[s]
+                    if clocks[s] > ts:
+                        ts = clocks[s]
+                    te = ts + beta * mnw[i]
+                    eg[s] = te
+                    t_first[i] = ts + alpha
+                    dn = te + o_send
+                    done[i] = dn
+                    if dn > clocks[s]:
+                        clocks[s] = dn
+            else:
+                src = msrc[pi]
+                ts = np.maximum(eg[src], clocks[src])
+                te = ts + beta * mnw[pi]
+                eg[src] = te
+                t_first[pi] = ts + alpha
+                dn = te + o_send
+                done[pi] = dn
+                if rnd.style == _SENDRECV:
+                    clocks[src] += o_inject
+                else:
+                    clocks[src] = np.maximum(clocks[src], dn)
+        ri = rnd.recv
+        if ri is not None:
+            if rnd.recv_seq:
+                # shared ingress link: exact scalar fold in program order
+                for i in ri.tolist():
+                    d = int(mdst[i])
+                    td = ing[d]
+                    if t_first[i] > td:
+                        td = t_first[i]
+                    td += beta * mnw[i]
+                    ing[d] = td
+                    if td > clocks[d]:
+                        clocks[d] = td
+            else:
+                dst = mdst[ri]
+                td = np.maximum(ing[dst], t_first[ri]) + beta * mnw[ri]
+                ing[dst] = td
+                clocks[dst] = np.maximum(clocks[dst], td)
+        if rnd.style == _SENDRECV and pi is not None:
+            src = msrc[pi]
+            clocks[src] = np.maximum(clocks[src], done[pi])
+        if rnd.reduce_words is not None:
+            dst = mdst[ri]
+            clocks[dst] += gamma * rnd.reduce_words
+        if rnd.extra_seconds is not None:
+            clocks[mdst[ri]] += rnd.extra_seconds
+    net.clocks[:] = clocks.tolist()
+    net.egress_free[:] = eg.tolist()
+    net.ingress_free[:] = ing.tolist()
+    for r in range(sched.p):
+        net.words_sent[r] += sched.words_sent[r]
+        net.words_recv[r] += sched.words_recv[r]
+        net.msgs_sent[r] += sched.msgs_sent[r]
+        net.msgs_recv[r] += sched.msgs_recv[r]
+
+
+# ---------------------------------------------------------------------------
+# Fold helpers shared by the allreduce compilers (non-power-of-two P)
+# ---------------------------------------------------------------------------
+def _core_size(p: int) -> int:
+    return 1 << (p.bit_length() - 1)
+
+
+def _fold_real(newrank: int, p: int, m: int) -> int:
+    rem = p - m
+    return newrank * 2 + 1 if newrank < rem else newrank + rem
+
+
+def _emit_fold_in(b: _Builder, p: int, m: int, nw: int,
+                  n_elems: int) -> None:
+    rem = p - m
+    if rem == 0:
+        return
+    post = [b.msg(2 * i, 2 * i + 1, nw, TAG_FOLD) for i in range(rem)]
+    b.round(_ONEWAY, post, post, reduce_words=[n_elems] * rem)
+
+
+def _emit_fold_out(b: _Builder, p: int, m: int, nw: int) -> None:
+    rem = p - m
+    if rem == 0:
+        return
+    post = [b.msg(2 * i + 1, 2 * i, nw, TAG_FOLD) for i in range(rem)]
+    b.round(_ONEWAY, post, post)
+
+
+# ---------------------------------------------------------------------------
+# Schedule compilers (pure: P + sizes in, message schedule out)
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=1024)
+def compile_allreduce(p: int, n: int, wpe: int, algo: str) -> Schedule:
+    """Message schedule of a dense allreduce over ``n`` elements of
+    ``wpe`` words each (``recursive_doubling`` | ``rabenseifner`` |
+    ``ring``), including the fold-in/fold-out of the ``P - 2^floor(log2
+    P)`` extra ranks."""
+    if algo == "recursive_doubling":
+        return _compile_allreduce_rd(p, n, wpe)
+    if algo == "rabenseifner":
+        return _compile_allreduce_rab(p, n, wpe)
+    if algo == "ring":
+        raise ValueError("ring allreduce compiles as reduce_scatter_ring "
+                         "+ allgather_ring")
+    raise ValueError(f"unknown dense allreduce algorithm {algo!r}")
+
+
+def _compile_allreduce_rd(p: int, n: int, wpe: int) -> Schedule:
+    b = _Builder(p)
+    m = _core_size(p)
+    nw = n * wpe
+    _emit_fold_in(b, p, m, nw, n)
+    d = 1
+    while d < m:
+        post = [b.msg(_fold_real(x, p, m), _fold_real(x ^ d, p, m), nw,
+                      TAG_ALLREDUCE) for x in range(m)]
+        recv = [post[x ^ d] for x in range(m)]
+        b.round(_SENDRECV, post, recv, reduce_words=[n] * m)
+        d <<= 1
+    _emit_fold_out(b, p, m, nw)
+    return b.build()
+
+
+def _compile_allreduce_rab(p: int, n: int, wpe: int) -> Schedule:
+    b = _Builder(p)
+    m = _core_size(p)
+    nw = n * wpe
+    _emit_fold_in(b, p, m, nw, n)
+    # recursive-halving reduce-scatter: track each core rank's (lo, hi)
+    lohi = [(0, n)] * m
+    d = m >> 1
+    while d >= 1:
+        post = [0] * m
+        for x in range(m):
+            lo, hi = lohi[x]
+            mid = lo + (hi - lo) // 2
+            elems = (hi - mid) if x < (x ^ d) else (mid - lo)
+            post[x] = b.msg(_fold_real(x, p, m), _fold_real(x ^ d, p, m),
+                            elems * wpe, TAG_RS)
+        recv, reduce_w = [0] * m, [0] * m
+        for x in range(m):
+            lo, hi = lohi[x]
+            mid = lo + (hi - lo) // 2
+            lohi[x] = (lo, mid) if x < (x ^ d) else (mid, hi)
+            recv[x] = post[x ^ d]
+            reduce_w[x] = lohi[x][1] - lohi[x][0]
+        b.round(_SENDRECV, post, recv, reduce_words=reduce_w)
+        d >>= 1
+    # recursive-doubling allgather
+    d = 1
+    while d < m:
+        post = [b.msg(_fold_real(x, p, m), _fold_real(x ^ d, p, m),
+                      (lohi[x][1] - lohi[x][0]) * wpe, TAG_AG)
+                for x in range(m)]
+        recv = [post[x ^ d] for x in range(m)]
+        b.round(_SENDRECV, post, recv)
+        nxt = [0] * m
+        for x in range(m):
+            lo, hi = lohi[x]
+            got = lohi[x ^ d][1] - lohi[x ^ d][0]
+            nxt[x] = (lo - got, hi) if x & d else (lo, hi + got)
+        lohi = nxt
+        d <<= 1
+    _emit_fold_out(b, p, m, nw)
+    return b.build()
+
+
+def _ring_block_lens(n: int, p: int) -> List[int]:
+    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+    return [int(bounds[i + 1] - bounds[i]) for i in range(p)]
+
+
+@lru_cache(maxsize=1024)
+def compile_reduce_scatter_ring(p: int, n: int, wpe: int) -> Schedule:
+    """Ring reduce-scatter: ``P - 1`` permutation steps over the
+    near-equal contiguous blocks of :func:`_ring_block_lens`."""
+    b = _Builder(p)
+    lens = _ring_block_lens(n, p)
+    for s in range(1, p):
+        post = [b.msg(r, (r + 1) % p, lens[(r - s) % p] * wpe, TAG_RS)
+                for r in range(p)]
+        recv = [post[(r - 1) % p] for r in range(p)]
+        b.round(_SENDRECV, post, recv,
+                reduce_words=[lens[(r - s - 1) % p] for r in range(p)])
+    return b.build()
+
+
+@lru_cache(maxsize=1024)
+def compile_allgather_ring(p: int, n: int, wpe: int) -> Schedule:
+    b = _Builder(p)
+    lens = _ring_block_lens(n, p)
+    for s in range(p - 1):
+        post = [b.msg(r, (r + 1) % p, lens[(r - s) % p] * wpe, TAG_AG)
+                for r in range(p)]
+        recv = [post[(r - 1) % p] for r in range(p)]
+        b.round(_SENDRECV, post, recv)
+    return b.build()
+
+
+@lru_cache(maxsize=1024)
+def compile_allgatherv(p: int, sizes: Tuple[int, ...],
+                       tag: int = TAG_AGV) -> Schedule:
+    """Bruck dissemination with per-rank contribution sizes (in words):
+    the step at distance ``d`` ships each rank's first ``min(d, P - d)``
+    held blocks (blocks of ranks ``r .. r+count-1``)."""
+    b = _Builder(p)
+    d = 1
+    while d < p:
+        count = min(d, p - d)
+        post = [b.msg(r, (r - d) % p,
+                      sum(sizes[(r + j) % p] for j in range(count)), tag)
+                for r in range(p)]
+        recv = [post[(r + d) % p] for r in range(p)]
+        b.round(_SENDRECV, post, recv)
+        d <<= 1
+    return b.build()
+
+
+@lru_cache(maxsize=256)
+def compile_alltoallv(p: int, rows: Tuple[Tuple[int, ...], ...]) -> Schedule:
+    """Pairwise rotation: at step ``s`` rank ``r`` sends block
+    ``(r+s) % P`` and receives from ``(r-s) % P``; ``rows[i][j]`` is the
+    word size of rank ``i``'s block for rank ``j``."""
+    b = _Builder(p)
+    for s in range(1, p):
+        post = [b.msg(r, (r + s) % p, rows[r][(r + s) % p], TAG_A2A)
+                for r in range(p)]
+        recv = [post[(r - s) % p] for r in range(p)]
+        b.round(_SENDRECV, post, recv)
+    return b.build()
+
+
+@lru_cache(maxsize=1024)
+def compile_bcast(p: int, root: int, nw: int) -> Schedule:
+    """Binomial broadcast, levels in descending mask order (a rank
+    receives at its virtual rank's lowest set bit, then forwards)."""
+    b = _Builder(p)
+    top = 1
+    while top < p:
+        top <<= 1
+    mask = top >> 1
+    while mask >= 1:
+        post, recv = [], []
+        for v in range(0, p, 2 * mask):
+            if v + mask < p:
+                i = b.msg((v + root) % p, (v + mask + root) % p, nw,
+                          TAG_BCAST)
+                post.append(i)
+                recv.append(i)
+        b.round(_ONEWAY, post, recv)
+        mask >>= 1
+    return b.build()
+
+
+@lru_cache(maxsize=1024)
+def compile_reduce(p: int, root: int, n: int, wpe: int) -> Schedule:
+    """Binomial reduction to ``root``, levels in ascending mask order."""
+    b = _Builder(p)
+    nw = n * wpe
+    mask = 1
+    while mask < p:
+        post, recv, reduce_w = [], [], []
+        for v in range(0, p, 2 * mask):
+            if v + mask < p:
+                i = b.msg((v + mask + root) % p, (v + root) % p, nw,
+                          TAG_REDUCE)
+                post.append(i)
+                recv.append(i)
+                reduce_w.append(n)
+        b.round(_ONEWAY, post, recv, reduce_words=reduce_w)
+        mask <<= 1
+    return b.build()
+
+
+@lru_cache(maxsize=256)
+def compile_barrier(p: int) -> Schedule:
+    """Dissemination barrier: ``ceil(log2 P)`` zero-word rounds, each a
+    blocking send to ``r+d`` followed by a receive from ``r-d``."""
+    b = _Builder(p)
+    d = 1
+    while d < p:
+        post = [b.msg(r, (r + d) % p, 0, TAG_BARRIER) for r in range(p)]
+        recv = [post[(r - d) % p] for r in range(p)]
+        b.round(_ONEWAY, post, recv)
+        d <<= 1
+    return b.build()
+
+
+@lru_cache(maxsize=512)
+def compile_gather(p: int, root: int, sizes: Tuple[int, ...]) -> Schedule:
+    """Linear gather: every non-root posts, the root's ingress link
+    serializes the deliveries in ascending rank order."""
+    b = _Builder(p)
+    peers = [r for r in range(p) if r != root]
+    post = [b.msg(r, root, sizes[r], TAG_GATHER) for r in peers]
+    b.round(_ONEWAY, post, post, recv_seq=True)
+    return b.build()
+
+
+@lru_cache(maxsize=512)
+def compile_scatter(p: int, root: int, sizes: Tuple[int, ...]) -> Schedule:
+    """Linear scatter: the root's egress link serializes the blocking
+    sends in ascending rank order."""
+    b = _Builder(p)
+    peers = [r for r in range(p) if r != root]
+    post = [b.msg(root, r, sizes[r], TAG_SCATTER) for r in peers]
+    b.round(_ONEWAY, post, post, post_seq=True)
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Central data computation (bit-identical association orders)
+# ---------------------------------------------------------------------------
+def _fold_stack(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:
+    """Stack the contributions in core (newrank) order, combining the
+    fold-in pairs: row ``x < rem`` is ``a[2x+1] + a[2x]`` (the odd rank's
+    ``op(acc, got)``), rows ``x >= rem`` pass through."""
+    arr = np.stack([np.asarray(a) for a in payloads])
+    m = _core_size(p)
+    rem = p - m
+    if rem == 0:
+        return arr
+    folded = arr[1:2 * rem:2] + arr[0:2 * rem:2]
+    return np.concatenate([folded, arr[2 * rem:]], axis=0)
+
+
+def _sum_recursive_doubling(payloads: Sequence[np.ndarray],
+                            p: int) -> np.ndarray:
+    """The butterfly's balanced tree: adjacent newrank pairs combine at
+    distance 1 first (every core rank ends with the same bits because
+    each combine is a commutative ``op(acc, got)``)."""
+    cur = _fold_stack(payloads, p)
+    while cur.shape[0] > 1:
+        cur = cur[0::2] + cur[1::2]
+    return cur[0]
+
+
+def _sum_rabenseifner(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:
+    """Recursive halving's tree: newranks pair at distance ``m/2`` first
+    (per block the association is the same halving tree, so the whole
+    vector folds in one pass per level)."""
+    cur = _fold_stack(payloads, p)
+    while cur.shape[0] > 1:
+        h = cur.shape[0] // 2
+        cur = cur[:h] + cur[h:]
+    return cur[0]
+
+
+def _sum_ring(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:
+    """The ring's sequential fold: block ``b`` accumulates around the
+    ring as ``op(a_b, op(a_{b-1}, ... op(a_{b+2}, a_{b+1})))``."""
+    stack = np.stack([np.asarray(a) for a in payloads])
+    n = stack.shape[1]
+    lens = _ring_block_lens(n, p)
+    block_of = np.repeat(np.arange(p, dtype=np.int64), lens)
+    col = np.arange(n)
+    partial = stack[(block_of + 1) % p, col]
+    for j in range(1, p):
+        partial = stack[(block_of + 1 + j) % p, col] + partial
+    return partial
+
+
+def _sum_reduce_tree(payloads: Sequence[Any], p: int, root: int):
+    """Binomial-tree association: at each mask level the surviving
+    virtual rank folds its child subtree in (``op(acc, got)``)."""
+    cur = {v: np.asarray(payloads[(root + v) % p]) for v in range(p)}
+    mask = 1
+    while mask < p:
+        for v in range(0, p, 2 * mask):
+            if v + mask < p:
+                cur[v] = cur[v] + cur.pop(v + mask)
+        mask <<= 1
+    return cur[0]
+
+
+# ---------------------------------------------------------------------------
+# Payload views/snapshots matching the per-message delivery semantics
+# ---------------------------------------------------------------------------
+def _view(obj: Any) -> Any:
+    """Read-only zero-copy view (the ``sendrecv`` delivery semantics):
+    mirrors :func:`repro.comm.communicator._view`."""
+    from .communicator import _view as cview
+    return cview(obj)
+
+
+def _recv_snapshot(obj: Any, net) -> Any:
+    """What a blocking-``send`` receiver would hold: the payload snapshot
+    taken at post time (zero-copy for immutable arrays — see
+    :func:`repro.comm.communicator.send_snapshot`)."""
+    from .communicator import send_snapshot
+    return send_snapshot(obj, net)
+
+
+# ---------------------------------------------------------------------------
+# Fused entry points (called from repro.comm.collectives)
+# ---------------------------------------------------------------------------
+def _wpe(arr: np.ndarray) -> int:
+    return max(1, arr.dtype.itemsize // 4)
+
+
+def fused_allreduce(comm, arr: np.ndarray, op, algo: str):
+    if op is not np.add or not _available(comm):
+        return UNFUSED
+    a = np.asarray(arr)
+    sig = ("allreduce", algo, a.size, _wpe(a), a.dtype.str)
+    return comm.fused_collective(sig, a, _exec_allreduce)
+
+
+def _exec_allreduce(net, sig, payloads):
+    _, algo, n, wpe, _ = sig
+    p = len(payloads)
+    if algo == "ring":
+        replay(net, compile_reduce_scatter_ring(p, n, wpe))
+        replay(net, compile_allgather_ring(p, n, wpe))
+        total = _sum_ring(payloads, p)
+    elif algo == "rabenseifner":
+        replay(net, compile_allreduce(p, n, wpe, algo))
+        total = _sum_rabenseifner(payloads, p)
+    else:
+        replay(net, compile_allreduce(p, n, wpe, algo))
+        total = _sum_recursive_doubling(payloads, p)
+    return [np.array(total, copy=True) for _ in range(p)]
+
+
+def fused_reduce_scatter_ring(comm, arr: np.ndarray, op):
+    if op is not np.add or not _available(comm):
+        return UNFUSED
+    a = np.asarray(arr)
+    sig = ("reduce_scatter_ring", a.size, _wpe(a), a.dtype.str)
+    return comm.fused_collective(sig, a, _exec_rs_ring)
+
+
+def _exec_rs_ring(net, sig, payloads):
+    _, n, wpe, _ = sig
+    p = len(payloads)
+    replay(net, compile_reduce_scatter_ring(p, n, wpe))
+    partial = _sum_ring(payloads, p)
+    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+    return [(partial[bounds[r]:bounds[r + 1]].copy(),
+             slice(int(bounds[r]), int(bounds[r + 1])))
+            for r in range(p)]
+
+
+def fused_allgather_ring(comm, block: np.ndarray, n: int):
+    if not _available(comm):
+        return UNFUSED
+    a = np.asarray(block)
+    sig = ("allgather_ring", int(n), _wpe(a), a.dtype.str)
+    return comm.fused_collective(sig, a, _exec_ag_ring)
+
+
+def _exec_ag_ring(net, sig, payloads):
+    _, n, wpe, dts = sig
+    p = len(payloads)
+    replay(net, compile_allgather_ring(p, n, wpe))
+    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+    full = np.empty(n, dtype=np.dtype(dts))
+    for r in range(p):
+        full[bounds[r]:bounds[r + 1]] = payloads[r]
+    return [full.copy() for _ in range(p)]
+
+
+def fused_allgatherv(comm, block: Any):
+    if not _available(comm):
+        return UNFUSED
+    return comm.fused_collective(
+        ("allgatherv",), (block, payload_nwords(block)), _exec_allgatherv)
+
+
+def _exec_allgatherv(net, sig, payloads):
+    p = len(payloads)
+    sizes = tuple(nw for _, nw in payloads)
+    replay(net, compile_allgatherv(p, sizes))
+    blocks = [b for b, _ in payloads]
+    views = [_view(b) for b in blocks]
+    return [[blocks[j] if j == r else views[j] for j in range(p)]
+            for r in range(p)]
+
+
+def fused_allgather_object(comm, obj: Any):
+    if not _available(comm):
+        return UNFUSED
+    return comm.fused_collective(
+        ("allgather_object",), (obj, payload_nwords(obj)),
+        _exec_allgatherv)
+
+
+def fused_alltoallv(comm, blocks: Sequence[Any]):
+    if not _available(comm):
+        return UNFUSED
+    row = tuple(payload_nwords(bl) for bl in blocks)
+    return comm.fused_collective(("alltoallv",), (blocks, row),
+                                 _exec_alltoallv)
+
+
+def _exec_alltoallv(net, sig, payloads):
+    p = len(payloads)
+    rows = tuple(row for _, row in payloads)
+    replay(net, compile_alltoallv(p, rows))
+    out = []
+    for r in range(p):
+        out.append([payloads[j][0][r] if j == r
+                    else _view(payloads[j][0][r]) for j in range(p)])
+    return out
+
+
+def fused_bcast(comm, obj: Any, root: int):
+    if not _available(comm):
+        return UNFUSED
+    payload = obj if comm.rank == root else None
+    return comm.fused_collective(("bcast", root), payload, _exec_bcast)
+
+
+def _exec_bcast(net, sig, payloads):
+    _, root = sig
+    p = len(payloads)
+    obj = payloads[root]
+    replay(net, compile_bcast(p, root, payload_nwords(obj)))
+    snap = _recv_snapshot(obj, net)
+    return [obj if r == root else snap for r in range(p)]
+
+
+def fused_reduce(comm, arr: np.ndarray, root: int, op):
+    if op is not np.add or not _available(comm):
+        return UNFUSED
+    a = np.asarray(arr)
+    sig = ("reduce", root, a.size, _wpe(a), a.dtype.str)
+    return comm.fused_collective(sig, a, _exec_reduce)
+
+
+def _exec_reduce(net, sig, payloads):
+    _, root, n, wpe, _ = sig
+    p = len(payloads)
+    replay(net, compile_reduce(p, root, n, wpe))
+    total = _sum_reduce_tree(payloads, p, root)
+    return [total if r == root else None for r in range(p)]
+
+
+def fused_barrier(comm):
+    if not _available(comm):
+        return UNFUSED
+    return comm.fused_collective(("barrier",), None, _exec_barrier)
+
+
+def _exec_barrier(net, sig, payloads):
+    p = len(payloads)
+    replay(net, compile_barrier(p))
+    return [None] * p
+
+
+def fused_gather(comm, obj: Any, root: int):
+    if not _available(comm):
+        return UNFUSED
+    return comm.fused_collective(("gather", root),
+                                 (obj, payload_nwords(obj)), _exec_gather)
+
+
+def _exec_gather(net, sig, payloads):
+    _, root = sig
+    p = len(payloads)
+    sizes = tuple(nw for _, nw in payloads)
+    replay(net, compile_gather(p, root, sizes))
+    out = [payloads[j][0] if j == root
+           else _recv_snapshot(payloads[j][0], net) for j in range(p)]
+    return [out if r == root else None for r in range(p)]
+
+
+def fused_scatter(comm, objs: Optional[Sequence[Any]], root: int):
+    if not _available(comm):
+        return UNFUSED
+    if comm.rank == root:
+        payload = (objs, tuple(payload_nwords(o) for o in objs))
+    else:
+        payload = None
+    return comm.fused_collective(("scatter", root), payload, _exec_scatter)
+
+
+def _exec_scatter(net, sig, payloads):
+    _, root = sig
+    p = len(payloads)
+    objs, sizes = payloads[root]
+    replay(net, compile_scatter(p, root, sizes))
+    return [objs[r] if r == root else _recv_snapshot(objs[r], net)
+            for r in range(p)]

@@ -82,6 +82,7 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
              model: Optional[NetworkModel] = None,
              trace: bool = False,
              runner: Optional[str] = None,
+             fused: Optional[bool] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
 
@@ -95,6 +96,11 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
         trace: record a message trace on the fresh network.
         runner: ``"coop"`` (default) or ``"threads"``; ``None`` defers to
             the ``REPRO_SPMD_RUNNER`` environment variable.
+        fused: enable the fused collective fast path on the cooperative
+            engine (see :mod:`repro.comm.fused`); ``None`` (default)
+            defers to the ``REPRO_FUSED`` environment variable (on unless
+            set to ``0``).  The threaded runner always takes the
+            per-message reference path.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the network.
@@ -118,7 +124,8 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
     elif which == "threads":
         results, failures = _run_threads(net, nranks, fn, args, kwargs)
     else:
-        results, failures = CoopEngine(net, nranks).run(fn, args, kwargs)
+        results, failures = CoopEngine(net, nranks,
+                                       fused=fused).run(fn, args, kwargs)
 
     if failures:
         genuine = {r: e for r, e in failures.items()

@@ -98,6 +98,32 @@ class NetworkModel:
         """Cost of a single uncontended point-to-point message."""
         return self.alpha + self.beta * float(nwords)
 
+    def topk_seconds(self, n: int, k: int) -> float:
+        """Seconds of a GPU top-k selection over ``n`` words.
+
+        Modeled as ``sort_time * n * log2(k)`` — between the bitonic
+        ``n log^2 k`` worst case and radix-select's ``n`` (torch.topk,
+        the primitive the paper's baselines call, sits in this regime).
+        The single source of the formula: charged through
+        :meth:`repro.comm.communicator.SimComm.compute_topk` on the
+        per-message path and by the fused gtopk tree executor.
+        """
+        n, k = max(0, n), max(2, k)
+        return self.sort_time * n * np.log2(k)
+
+    def isend_avail(self, sender_clock: float, n: int) -> np.ndarray:
+        """Egress availability times of ``n`` back-to-back ``isend``
+        posts: the sender's clock advances by ``o_inject`` per post, so
+        message ``i`` becomes available after ``i`` charges (left-fold
+        prefix sum, matching the scalar clock accumulation).  Shared by
+        :meth:`repro.comm.network.Network.post_batch` and the fused
+        Ok-Topk split-and-reduce executor."""
+        if self.o_inject:
+            seq = np.full(n, self.o_inject)
+            seq[0] = sender_clock
+            return np.cumsum(seq)
+        return np.full(n, sender_clock)
+
     # ------------------------------------------------------------------
     # Batched link booking
     # ------------------------------------------------------------------

@@ -207,15 +207,7 @@ class Network:
             if not 0 <= dst < nranks:
                 raise CommError(f"invalid destination rank {dst}")
             nwords_arr[i] = it[3]
-        # The sender's clock advances by o_inject per isend, so message i
-        # becomes available at sender_clock after i o_inject charges
-        # (left-fold prefix sum, matching the scalar clock accumulation).
-        if m.o_inject:
-            seq = np.full(n, m.o_inject)
-            seq[0] = sender_clock
-            avail = np.cumsum(seq)
-        else:
-            avail = np.full(n, sender_clock)
+        avail = m.isend_avail(sender_clock, n)
         starts, ends = m.serialize_batch(self.egress_free[src], avail,
                                          nwords_arr)
         self.egress_free[src] = float(ends[-1])

@@ -35,6 +35,10 @@ class ShardedLoader:
         self.batches_per_epoch = len(split) // global_batch
         self._epoch = -1
         self._order: np.ndarray | None = None
+        # shard bounds are static per (rank, size): computed once, not on
+        # every next_batch (this sat on the per-iteration hot path)
+        bounds = np.linspace(0, global_batch, size + 1).astype(int)
+        self._bounds = (int(bounds[rank]), int(bounds[rank + 1]))
 
     @property
     def local_batch(self) -> int:
@@ -42,8 +46,7 @@ class ShardedLoader:
         return hi - lo
 
     def _shard_bounds(self) -> tuple[int, int]:
-        bounds = np.linspace(0, self.global_batch, self.size + 1).astype(int)
-        return int(bounds[self.rank]), int(bounds[self.rank + 1])
+        return self._bounds
 
     def _ensure_epoch(self, epoch: int) -> None:
         if epoch != self._epoch:

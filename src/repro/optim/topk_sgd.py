@@ -32,12 +32,24 @@ from .lr_schedules import LRSchedule, as_schedule
 
 @dataclass
 class StepInfo:
-    """Diagnostics of one distributed optimizer step."""
+    """Diagnostics of one distributed optimizer step.
+
+    ``residual_norm`` is evaluated lazily from a snapshot-free reference:
+    the eager per-step ``np.linalg.norm`` over the full residual was pure
+    overhead on the training hot path (nothing in the trainer consumes
+    it).  Read it before the *next* ``step`` call mutates the residual.
+    """
 
     t: int
     lr: float
     result: AllreduceResult
-    residual_norm: float
+    _residual: Optional[np.ndarray] = None
+
+    @property
+    def residual_norm(self) -> float:
+        if self._residual is None:
+            return 0.0
+        return float(np.linalg.norm(self._residual))
 
     @property
     def phase_times(self) -> Dict[str, float]:
@@ -117,7 +129,7 @@ class TopkSGD:
             self.residual[result.contributed_indices] = 0.0
         _apply_update(params, result.update, 1.0 / comm.size)
         return StepInfo(t=self.t, lr=lr, result=result,
-                        residual_norm=float(np.linalg.norm(self.residual)))
+                        _residual=self.residual)
 
 
 class SparseOptimWrapper:
@@ -155,4 +167,4 @@ class SparseOptimWrapper:
         self.inner.step(params, g_hat)
         lr = self.inner.lr(self.inner.t) if hasattr(self.inner, "lr") else 0.0
         return StepInfo(t=self.t, lr=float(lr), result=result,
-                        residual_norm=float(np.linalg.norm(self.residual)))
+                        _residual=self.residual)

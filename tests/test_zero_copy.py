@@ -22,7 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import run_spmd
+from repro.comm import collectives, run_spmd
 from repro.errors import RankFailedError
 
 RUNNERS = ("coop", "threads")
@@ -343,6 +343,132 @@ class TestZeroCopyProperty:
                 np.testing.assert_array_equal(res[r], original)
             outs[runner] = res
         np.testing.assert_array_equal(outs["coop"][1], outs["threads"][1])
+
+
+class TestObjectCollectiveZeroCopy:
+    """PR-5 audit of the object-payload collectives: immutable (read-only)
+    array payloads travel zero-copy through blocking sends — under both
+    the fused and the per-message coop path — while writable payloads are
+    still snapshotted (the eager reuse contract)."""
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_readonly_bcast_payload_shares_memory(self, fused):
+        frozen = np.arange(64, dtype=np.float32)
+        frozen.setflags(write=False)
+
+        def prog(comm):
+            got = collectives.bcast(comm, frozen if comm.rank == 0
+                                    else None, root=0)
+            return np.shares_memory(got, frozen)
+
+        res = run_spmd(3, prog, runner="coop", fused=fused)
+        assert all(res.results), "read-only bcast payload was deep-copied"
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_writable_bcast_payload_is_copied(self, fused):
+        buf = np.arange(64, dtype=np.float32)
+
+        def prog(comm):
+            got = collectives.bcast(comm, buf if comm.rank == 0 else None,
+                                    root=0)
+            if comm.rank == 0:
+                return True
+            return not np.shares_memory(got, buf)
+
+        res = run_spmd(3, prog, runner="coop", fused=fused)
+        assert all(res.results), "writable bcast payload leaked zero-copy"
+
+    @pytest.mark.parametrize("fused", [True, False])
+    def test_readonly_gather_payload_shares_memory(self, fused):
+        def prog(comm):
+            mine = np.full(8, comm.rank, dtype=np.float32)
+            mine.setflags(write=False)
+            out = collectives.gather(comm, mine, root=0)
+            if comm.rank != 0:
+                return True
+            # root's list entries alias the senders' read-only buffers
+            return all(not got.flags.writeable for got in out)
+
+        res = run_spmd(3, prog, runner="coop", fused=fused)
+        assert all(res.results)
+
+    def test_readonly_view_of_writable_base_is_copied(self):
+        """A read-only *view* does not immortalize its buffer: the owner
+        can still mutate, so send() must snapshot (the receiver sees
+        post-time data under both runners)."""
+        def prog(comm):
+            if comm.rank == 0:
+                owner = np.arange(8, dtype=np.float32)
+                v = owner.view()
+                v.setflags(write=False)
+                comm.send(v, 1, tag=5)
+                owner += 100.0           # legal: send() is eager
+                comm.recv(1, tag=6)
+                return None
+            got = comm.recv(0, tag=5).copy()
+            comm.send(None, 0, tag=6)
+            return got
+
+        for runner in RUNNERS:
+            res = run_spmd(2, prog, runner=runner)
+            np.testing.assert_array_equal(
+                res[1], np.arange(8, dtype=np.float32))
+
+    def test_frombuffer_array_payloads_work(self):
+        """Arrays backed by non-array buffers (bytes via np.frombuffer)
+        must not crash the snapshot base-walk — send and isend."""
+        raw = np.arange(6, dtype=np.float32).tobytes()
+
+        def prog(comm):
+            arr = np.frombuffer(raw, dtype=np.float32)  # read-only,
+            if comm.rank == 0:                          # base is bytes
+                comm.send(arr, 1, tag=1)
+                comm.isend(arr, 1, tag=2).wait()
+                return None
+            a = comm.recv(0, tag=1)
+            b = comm.recv(0, tag=2)
+            return np.array_equal(a, arr) and np.array_equal(b, arr)
+
+        for runner in RUNNERS:
+            assert run_spmd(2, prog, runner=runner)[1]
+
+    def test_send_readonly_array_is_zero_copy(self):
+        frozen = np.arange(32, dtype=np.float32)
+        frozen.setflags(write=False)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(frozen, 1, tag=9)
+                return True
+            got = comm.recv(0, tag=9)
+            return np.shares_memory(got, frozen)
+
+        assert all(run_spmd(2, prog, runner="coop").results)
+
+    def test_loaned_buffer_is_still_copied_by_send(self):
+        """A buffer that is read-only only because it is on loan to an
+        in-flight isend must NOT travel zero-copy through send(): the
+        owner becomes writable again when the loan ends."""
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.arange(16, dtype=np.float32)
+                req = comm.isend(buf, 1, tag=1)      # loan: buf read-only
+                assert not buf.flags.writeable
+                comm.send(buf, 1, tag=2)             # must snapshot
+                comm.recv(1, tag=3)                  # peer consumed both
+                req.wait()
+                buf += 100.0                          # legal after wait
+                return None
+            first = comm.recv(0, tag=1).copy()
+            second = comm.recv(0, tag=2)
+            comm.send(1, 0, tag=3)
+            return first, second.copy()
+
+        res = run_spmd(2, prog, runner="coop")
+        first, second = res[1]
+        np.testing.assert_array_equal(first, np.arange(16, dtype=np.float32))
+        np.testing.assert_array_equal(second, np.arange(16,
+                                                        dtype=np.float32))
 
 
 class TestAlgorithmsUnderZeroCopy:
