@@ -195,6 +195,37 @@ def phase_breakdown(reps: int, quick: bool) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# ---------------------------------------------------------------------------
+# Fault-plan degradation (simulated time, not wall-clock)
+# ---------------------------------------------------------------------------
+def fault_degradation(iters: int) -> dict:
+    """Makespan degradation under a seeded p99 straggler + persistent slow
+    link (``FaultPlan.straggler_skew``) for dense vs Ok-Topk at P=4.
+
+    These are *simulated* seconds (deterministic — no reps needed): the
+    pinned qualitative result is that the faulted run is strictly slower
+    for both schemes (``degradation > 1``), while the no-plan run is
+    byte-identical to a run without the fault machinery.
+    """
+    from repro.comm.faults import FaultPlan
+
+    proxy = perf_proxy()
+    plan = FaultPlan.straggler_skew(4, seed=42)
+    out: dict = {"plan": plan.to_dict(), "p": 4, "iterations": iters}
+    for scheme in ("dense", "oktopk"):
+        clean = train_scheme(proxy, scheme, 4, iters, density=0.02,
+                             network=proxy_network()).total_time
+        faulted = train_scheme(proxy, scheme, 4, iters, density=0.02,
+                               network=proxy_network(),
+                               faults=plan).total_time
+        out[scheme] = {
+            "clean_sim_s": clean,
+            "faulted_sim_s": faulted,
+            "degradation": faulted / clean,
+        }
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
@@ -321,6 +352,8 @@ def main(argv=None) -> int:
         results["speedups"][f"storm_p{p}_coop_vs_threads"] = (
             entry["speedup_coop_vs_threads"])
 
+    results["fault_degradation"] = fault_degradation(train_iters)
+
     results["phase_breakdown"] = phase_breakdown(reps, args.quick)
     if fused_on:
         results["speedups"]["barrier_p16_fused_vs_reference"] = (
@@ -347,6 +380,14 @@ def main(argv=None) -> int:
     print(format_table(
         ["P", "coop (us/msg)", "threads (us/msg)", "speedup"],
         storm_rows, title="comm-layer message storm (COO payloads)"))
+    print()
+    fd = results["fault_degradation"]
+    print(format_table(
+        ["scheme", "clean (sim s)", "faulted (sim s)", "degradation"],
+        [[s, f"{fd[s]['clean_sim_s']:.4f}", f"{fd[s]['faulted_sim_s']:.4f}",
+          f"{fd[s]['degradation']:.2f}x"] for s in ("dense", "oktopk")],
+        title="fault-plan degradation (seeded p99 straggler + slow link, "
+              "P=4, simulated time)"))
     print()
     pb = results["phase_breakdown"]
     print(format_table(

@@ -94,6 +94,7 @@ def main(argv=None) -> int:
         if not args.skip_tests:
             rc |= _run([sys.executable, "-m", "pytest", "-q",
                         "-m", "not slow", "tests"])
+        rc |= _run([sys.executable, str(BENCH_DIR / "fault_smoke.py")])
         quick_json = REPO_ROOT / "BENCH_PERF.quick.json"
         rc |= _run([sys.executable, str(BENCH_DIR / "bench_perf_wallclock.py"),
                     "--quick", "--out", str(quick_json)])

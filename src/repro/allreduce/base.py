@@ -165,6 +165,12 @@ class GradientAllreduce(ABC):
             return n
         return max(1, int(round(self._density * n)))
 
+    def on_world_resize(self, size: int) -> None:
+        """The communicator shrank (elastic recovery): drop any cached
+        per-world state keyed to the old P.  Stateless schemes need no
+        action; stateful ones (Ok-Topk) override.
+        """
+
     # ------------------------------------------------------------------
     # One-shot API
     # ------------------------------------------------------------------

@@ -327,6 +327,27 @@ class OkTopkAllreduce(GradientAllreduce):
                 f"schedules key off t - 1); got t={t}")
         return (t - 1) % period == 0
 
+    def on_world_resize(self, size: int) -> None:
+        """Re-key the periodic state to a shrunk world (elastic recovery).
+
+        The consensus boundaries partition gradient space over P ranks
+        and the thresholds were estimated from P-way contributions, so
+        both are dropped: clearing ``boundaries`` forces the next
+        :meth:`_repartition` to re-run the consensus at the new size, and
+        clearing the thresholds forces fresh estimates.  The interrupted
+        iteration's bucket scratch is discarded (its traffic was flushed
+        by the shrink barrier); ablation counters are cumulative across
+        the resize and are kept.
+        """
+        st = self._state
+        if st is None:
+            return
+        st.local_th = None
+        st.global_th = None
+        st.boundaries = None
+        st.pending_t = 0
+        st.pending_reduced = []
+
     def _reset_state_if_needed(self, n: int) -> OkTopkState:
         st = self._state
         if st is None or st.n != n:

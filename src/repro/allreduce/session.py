@@ -489,7 +489,7 @@ class ReduceSession:
     # ------------------------------------------------------------------
     def _delegate(self) -> "AllreduceResult":
         comm = self.comm
-        clock0, recv0 = comm.clock, int(comm.net.words_recv[comm.rank])
+        clock0, recv0 = comm.clock, int(comm.net.words_recv[comm.slot])
         result = self.scheme._reduce(comm, self._acc, self.t)
         phases = comm.phase_times()
         from .base import PHASE_COMM, PHASE_SPARSIFY
@@ -504,7 +504,7 @@ class ReduceSession:
             release_frac=release,
             comm_time=phases.get(PHASE_COMM, 0.0),
             sparsify_time=phases.get(PHASE_SPARSIFY, 0.0),
-            words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
+            words_recv=int(comm.net.words_recv[comm.slot]) - recv0,
             selected=result.info.get(
                 "selected", result.info.get("selected_local")),
             info=info,
@@ -541,7 +541,7 @@ class ReduceSession:
                 k=0, selected=0, info=dict(res.info)))
             return
         phases0 = comm.phase_times()
-        recv0 = int(comm.net.words_recv[comm.rank])
+        recv0 = int(comm.net.words_recv[comm.slot])
         view = BucketView(lo=lo, hi=hi, n=self.layout.n, index=b,
                           nbuckets=self.nbuckets,
                           final=(b == self._last_funded), acc=self._acc)
@@ -579,7 +579,7 @@ class ReduceSession:
             comm_time=(phases1.get(PHASE_COMM, 0.0)
                        - phases0.get(PHASE_COMM, 0.0)),
             sparsify_time=sparsify_t,
-            words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
+            words_recv=int(comm.net.words_recv[comm.slot]) - recv0,
             selected=res.info.get("selected",
                                   res.info.get("selected_local")),
             info=info,

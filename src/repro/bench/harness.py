@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
-from ..comm import NetworkModel, run_spmd
+from ..comm import FaultPlan, NetworkModel, run_spmd
 from ..costmodel import PAPER_COMPUTE_SECONDS, iteration_seconds
 from ..data import ShardedLoader, make_an4_like, make_cifar_like, \
     make_wikipedia_like
@@ -184,6 +184,8 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
                  scheme_kwargs: Optional[Dict[str, Any]] = None,
                  eval_every: int = 0, xi_every: int = 0,
                  network: Optional[NetworkModel] = None,
+                 faults: Optional[FaultPlan] = None,
+                 elastic: bool = False,
                  seed: int = 0) -> RunRecord:
     """Run one scheme on P simulated ranks; returns rank 0's RunRecord.
 
@@ -192,7 +194,10 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
     generic communication/backward overlap timeline, and
     ``overlap_mode="stream"`` runs the buckets on the simulated clock
     during backward (discrete-event overlap) instead of replaying them
-    analytically.
+    analytically.  ``faults`` injects a deterministic
+    :class:`~repro.comm.FaultPlan`; with ``elastic=True`` survivors
+    shrink past planned crashes and the returned record is the first
+    survivor's (rank 0 may be the one that died).
     """
 
     def worker(comm):
@@ -208,10 +213,15 @@ def train_scheme(proxy: ProxySpec, scheme: str, p: int, iterations: int, *,
             density=density, k=k, bucket_size=bucket_size,
             overlap_mode=overlap_mode,
             lr=proxy.lr, mode=proxy.mode,
-            eval_every=eval_every, xi_every=xi_every)
+            eval_every=eval_every, xi_every=xi_every,
+            elastic=elastic)
         return Trainer(comm, model, loader, cfg, eval_fn=eval_fn).run()
 
-    return run_spmd(p, worker, model=network)[0]
+    res = run_spmd(p, worker, model=network, faults=faults)
+    for rec in res.results:
+        if rec is not None:
+            return rec
+    raise RuntimeError("no surviving rank produced a RunRecord")
 
 
 # ---------------------------------------------------------------------------

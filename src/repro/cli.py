@@ -89,17 +89,59 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rank_factor(spec: str, what: str) -> tuple:
+    try:
+        rank, _, factor = spec.partition(":")
+        return int(rank), float(factor)
+    except ValueError:
+        raise SystemExit(
+            f"bad {what} spec {spec!r}; expected RANK:FACTOR") from None
+
+
+def _build_fault_plan(args: argparse.Namespace):
+    """Assemble a FaultPlan from --fault-plan / the shorthand knobs."""
+    from .comm.faults import (ComputeStraggler, FaultPlan, LinkSlowdown,
+                              RankCrash)
+
+    plan = None
+    if args.fault_plan:
+        plan = FaultPlan.from_json(open(args.fault_plan).read())
+    links = list(plan.links) if plan else []
+    stragglers = list(plan.stragglers) if plan else []
+    crashes = list(plan.crashes) if plan else []
+    for spec in args.slow_link or ():
+        rank, factor = _parse_rank_factor(spec, "--slow-link")
+        links.append(LinkSlowdown(rank=rank, factor=factor))
+    for spec in args.straggler or ():
+        rank, factor = _parse_rank_factor(spec, "--straggler")
+        stragglers.append(ComputeStraggler(rank=rank, factor=factor))
+    for spec in args.crash or ():
+        try:
+            rank, _, it = spec.partition("@")
+            crashes.append(RankCrash(rank=int(rank), iteration=int(it)))
+        except ValueError:
+            raise SystemExit(
+                f"bad --crash spec {spec!r}; expected RANK@ITER") from None
+    if not (links or stragglers or crashes):
+        return None
+    return FaultPlan(links=links, stragglers=stragglers, crashes=crashes,
+                     detect_timeout=plan.detect_timeout if plan else 1e-3,
+                     seed=plan.seed if plan else None)
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from .bench import PROXIES, train_scheme
     from .bench.harness import proxy_network
 
     proxy = PROXIES[args.workload]()
+    faults = _build_fault_plan(args)
     rec = train_scheme(proxy, args.scheme, args.workers, args.iters,
                        density=args.density, k=args.k,
                        bucket_size=args.bucket_size,
                        overlap_mode=args.overlap_mode,
                        eval_every=max(1, args.iters // 3),
-                       network=proxy_network())
+                       network=proxy_network(),
+                       faults=faults, elastic=args.elastic)
     bd = rec.mean_breakdown(skip=1)
     budget = f"k={args.k}" if args.k is not None else f"density={args.density}"
     print(f"workload={args.workload} scheme={args.scheme} "
@@ -113,6 +155,10 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if any(r.stream_fallback for r in rec.records):
         print("  note       : stream mode fell back to the post-backward "
               "delegating adapter (timings are analytic)")
+    for ev in rec.events:
+        print(f"  fault      : iteration {ev['t']}: rank(s) "
+              f"{ev['failed_ranks']} failed, shrank "
+              f"{ev['old_size']} -> {ev['new_size']} workers and resumed")
     print(f"  first loss : {rec.losses[0]:.4f}")
     print(f"  final loss : {rec.losses[-1]:.4f}")
     print(f"  sim time   : {rec.total_time:.4f} s")
@@ -186,6 +232,23 @@ def build_parser() -> argparse.ArgumentParser:
                          "reductions on the simulated clock during "
                          "backward (discrete-event overlap, contends with "
                          "other traffic)")
+    tr.add_argument("--fault-plan", default=None, metavar="PATH",
+                    help="JSON fault plan (repro.comm.FaultPlan schema): "
+                         "seeded link slowdowns, compute stragglers and "
+                         "rank crashes, deterministic per seed and "
+                         "identical across runners")
+    tr.add_argument("--slow-link", action="append", metavar="RANK:FACTOR",
+                    help="slow down RANK's links by FACTOR (repeatable; "
+                         "merged into the fault plan)")
+    tr.add_argument("--straggler", action="append", metavar="RANK:FACTOR",
+                    help="scale RANK's compute time by FACTOR (repeatable)")
+    tr.add_argument("--crash", action="append", metavar="RANK@ITER",
+                    help="fail-stop RANK at the start of iteration ITER "
+                         "(1-based; repeatable)")
+    tr.add_argument("--elastic", action="store_true",
+                    help="survive planned crashes: shrink to the remaining "
+                         "workers, re-key the scheme state and data shards, "
+                         "and resume training")
     tr.set_defaults(fn=_cmd_train)
     return ap
 

@@ -31,6 +31,7 @@ reference rounds); disable it with ``REPRO_FUSED=0``,
 from . import collectives
 from .communicator import AsyncRegion, SimComm
 from .engine import CoopEngine
+from .faults import ComputeStraggler, FaultPlan, LinkSlowdown, RankCrash
 from .fused import FUSED_ENV, fusion_enabled
 from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
 from .message import RecvRequest, Request, SendRequest
@@ -56,4 +57,8 @@ __all__ = [
     "Network",
     "TrafficStats",
     "nwords",
+    "FaultPlan",
+    "LinkSlowdown",
+    "ComputeStraggler",
+    "RankCrash",
 ]

@@ -50,6 +50,7 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import SimulatedRankCrash
 from .message import Message, RecvRequest, Request, SendRequest
 from .network import Network
 from .payload import freeze as _freeze
@@ -244,32 +245,79 @@ class AsyncRegion:
 
 
 class SimComm:
-    """Communicator bound to one rank of a :class:`Network`."""
+    """Communicator bound to one rank of a :class:`Network`.
 
-    def __init__(self, network: Network, rank: int):
-        if not 0 <= rank < network.nranks:
-            raise ValueError(f"rank {rank} out of range for P={network.nranks}")
+    ``group`` (elastic recovery only) restricts the communicator to an
+    ordered subset of the network's physical rank ids ("slots"):
+    ``rank``/``size`` and every peer argument are then *group-relative*,
+    and all network operations translate through the group.  ``slot`` is
+    the physical id (== ``rank`` for a full-world communicator) — it is
+    what indexes per-rank network state such as ``net.words_recv``.
+    """
+
+    def __init__(self, network: Network, rank: int,
+                 group: Optional[Tuple[int, ...]] = None):
+        if group is None:
+            if not 0 <= rank < network.nranks:
+                raise ValueError(
+                    f"rank {rank} out of range for P={network.nranks}")
+            slot = rank
+            size = network.nranks
+        else:
+            group = tuple(group)
+            if not 0 <= rank < len(group):
+                raise ValueError(
+                    f"rank {rank} out of range for group of {len(group)}")
+            slot = group[rank]
+            size = len(group)
         self.net = network
         self.rank = rank
-        self.size = network.nranks
+        self.size = size
+        self.slot = slot
+        self._group = group
         self._phase_times: dict[str, float] = {}
+
+    def _to_slot(self, r: int) -> int:
+        """Translate a group-relative peer rank to its network slot."""
+        if self._group is None:
+            return r
+        return self._group[r]
 
     # ------------------------------------------------------------------
     # Simulated clock
     # ------------------------------------------------------------------
     @property
     def clock(self) -> float:
-        return float(self.net.clocks[self.rank])
+        return float(self.net.clocks[self.slot])
 
     def _advance_clock(self, t: float) -> None:
-        if t > self.net.clocks[self.rank]:
-            self.net.clocks[self.rank] = t
+        if t > self.net.clocks[self.slot]:
+            self.net.clocks[self.slot] = t
 
     def compute(self, seconds: float) -> None:
-        """Charge ``seconds`` of local computation to this rank."""
+        """Charge ``seconds`` of local computation to this rank.
+
+        Under a fault plan the charge is scaled by the rank's active
+        straggler factor, and a charge that crosses the rank's planned
+        crash time kills it on the spot (clock pinned at the crash time).
+        """
         if seconds < 0:
             raise ValueError("compute time must be >= 0")
-        self.net.clocks[self.rank] += seconds
+        net = self.net
+        slot = self.slot
+        f = net.faults
+        if f is not None:
+            t0 = net.clocks[slot]
+            if f.straggler[slot]:
+                seconds *= f.compute_factor(slot, t0)
+            t1 = t0 + seconds
+            ct = f.crash_time[slot]
+            if t1 >= ct:
+                net.clocks[slot] = ct if ct > t0 else t0
+                raise net._crash_outside_lock(slot)
+            net.clocks[slot] = t1
+            return
+        net.clocks[slot] += seconds
 
     def rewind_clock(self, t: float) -> None:
         """Set this rank's clock, allowing it to move *backwards*.
@@ -280,7 +328,7 @@ class SimComm:
         traffic counters are never rewound here — a message posted after a
         rewind still queues behind everything already booked.
         """
-        self.net.clocks[self.rank] = t
+        self.net.clocks[self.slot] = t
 
     def async_region(self) -> AsyncRegion:
         """Open an :class:`AsyncRegion` (see its docstring)."""
@@ -337,8 +385,8 @@ class SimComm:
         size = payload_nwords(obj) if nwords is None else int(nwords)
         payload = (send_snapshot(obj, self.net) if self.net.cooperative
                    else _freeze(obj))
-        _, done = self.net.post(self.rank, dest, tag, payload, size,
-                                self.clock)
+        _, done = self.net.post(self.slot, self._to_slot(dest), tag,
+                                payload, size, self.clock)
         self._advance_clock(done)
 
     def isend(self, obj: Any, dest: int, tag: int = 0, *,
@@ -354,8 +402,8 @@ class SimComm:
             payload = _view_with_loans(obj, self.net, loan_keys)
         else:
             payload = _freeze(obj)
-        msg, done = self.net.post(self.rank, dest, tag, payload, size,
-                                  self.clock)
+        msg, done = self.net.post(self.slot, self._to_slot(dest), tag,
+                                  payload, size, self.clock)
         if loan_keys:
             msg.loans = tuple(loan_keys)
         self.compute(self.net.model.o_inject)
@@ -388,8 +436,8 @@ class SimComm:
             else:
                 payload = _freeze(obj)
             all_loans.append(loan_keys)
-            batch.append((dest, tag, payload, size))
-        msgs, dones = net.post_batch(self.rank, batch, self.clock)
+            batch.append((self._to_slot(dest), tag, payload, size))
+        msgs, dones = net.post_batch(self.slot, batch, self.clock)
         for msg, loan_keys in zip(msgs, all_loans):
             if loan_keys:
                 msg.loans = tuple(loan_keys)
@@ -425,8 +473,8 @@ class SimComm:
             recvtag = sendtag
         size = payload_nwords(obj) if nwords is None else int(nwords)
         payload = _view(obj) if self.net.cooperative else _freeze(obj)
-        _, done = self.net.post(self.rank, dest, sendtag, payload, size,
-                                self.clock)
+        _, done = self.net.post(self.slot, self._to_slot(dest), sendtag,
+                                payload, size, self.clock)
         self.compute(self.net.model.o_inject)
         out = self.recv(source, recvtag)
         self._advance_clock(done)
@@ -482,10 +530,10 @@ class SimComm:
 
     # internal hooks used by RecvRequest/SendRequest ---------------------
     def _try_match(self, source: int, tag: int) -> Optional[Message]:
-        return self.net.try_match(self.rank, source, tag)
+        return self.net.try_match(self.slot, self._to_slot(source), tag)
 
     def _match_blocking(self, source: int, tag: int) -> Message:
-        return self.net.match_blocking(self.rank, source, tag)
+        return self.net.match_blocking(self.slot, self._to_slot(source), tag)
 
     def _deliver(self, msg: Message) -> None:
         t_done = self.net.deliver(msg)
@@ -496,6 +544,34 @@ class SimComm:
         buffer becomes reusable (called by ``SendRequest.wait``)."""
         msg.payload = _freeze(msg.payload, readonly=True)
         self.net.release_loans(msg)
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (see repro.comm.faults)
+    # ------------------------------------------------------------------
+    def maybe_crash(self, iteration: Optional[int] = None) -> None:
+        """Fire this rank's iteration-pinned crash, if the fault plan has
+        one for ``iteration`` (1-based).  Called by the trainer at the top
+        of each training iteration; a no-op without a plan.
+        """
+        f = self.net.faults
+        if f is None or iteration is None:
+            return
+        slot = self.slot
+        if f.crash_iter[slot] == iteration:
+            raise self.net._crash_outside_lock(slot)
+
+    def shrink(self) -> "SimComm":
+        """Collective over all survivors: agree on the set of live ranks
+        and return a new communicator over that shrunk, re-numbered world
+        (the ULFM ``MPI_Comm_shrink`` analog).
+
+        Every surviving rank must call this (typically from its
+        ``RankFailedError`` handler).  On return the survivors' clocks are
+        synchronized past the failure-detection bound and all in-flight
+        messages from the old world have been discarded.
+        """
+        group = self.net.shrink(self.slot)
+        return SimComm(self.net, group.index(self.slot), group=group)
 
     # ------------------------------------------------------------------
     # Convenience

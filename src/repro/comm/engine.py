@@ -38,7 +38,8 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from typing import Optional
 
-from ..errors import CommError, DeadlockError
+from ..errors import CommError, DeadlockError, RankFailedError, \
+    SimulatedRankCrash
 from .communicator import SimComm
 from .fused import fusion_enabled
 from .message import Message
@@ -89,6 +90,8 @@ class CoopEngine:
         self._ready: deque[int] = deque()
         #: rank -> (source, tag) it is blocked on
         self._waiting: Dict[int, Tuple[int, int]] = {}
+        #: ranks suspended at the elastic shrink barrier
+        self._shrink_waiting: set[int] = set()
 
     # ------------------------------------------------------------------
     #
@@ -114,6 +117,7 @@ class CoopEngine:
             for rank in range(self.nranks)
         ]
         net._sched = self
+        net._begin_section()
         try:
             for t in threads:
                 t.start()
@@ -183,9 +187,13 @@ class CoopEngine:
         net = self.net
         while True:
             net._check_abort()
+            if net.faults is not None:
+                net._crash_check(dst)
             msg = net._pop_match(dst, source, tag)
             if msg is not None:
                 return msg
+            if net._dead and source in net._failed_peers():
+                raise net._fail_detect(dst)
             self._waiting[dst] = (source, tag)
             self._suspend(dst)
 
@@ -210,6 +218,12 @@ class CoopEngine:
         """
         net = self.net
         net._check_abort()
+        if net.faults is not None:
+            net._crash_check(rank)
+        if net._dead:
+            # The rendezvous needs every rank; a declared death means it
+            # can never complete.
+            raise net._fail_detect(rank)
         rv = self._rv
         if rv is None:
             rv = self._rv = _Rendezvous(sig, self.nranks)
@@ -226,6 +240,10 @@ class CoopEngine:
             self._rv_parked.append(rank)
             self._suspend(rank)
             net._check_abort()
+            if not rv.results:
+                # Woken by the revoke path, not by completion: a
+                # participant died while we were parked.
+                raise net._fail_detect(rank)
             return rv.results[rank]
         # Last arrival: run the whole collective as one fused dispatch.
         self._rv = None
@@ -235,6 +253,29 @@ class CoopEngine:
         parked.sort()
         self._ready.extend(parked)
         return rv.results[rank]
+
+    def shrink(self, rank: int) -> tuple:
+        """Engine side of :meth:`Network.shrink`: park ``rank`` at the
+        barrier; the arrival (or exit event) that makes the barrier
+        complete finishes the shrink and readies the parked ranks."""
+        net = self.net
+        net._failstop.discard(rank)
+        net._shrink_parked.add(rank)
+        epoch = net._shrink_epoch
+        self._check_shrink()
+        if net._shrink_epoch == epoch:
+            self._shrink_waiting.add(rank)
+            self._suspend(rank)
+            net._check_abort()
+        return net._shrink_result
+
+    def _check_shrink(self) -> None:
+        """Re-evaluate shrink-barrier completion (called at every park
+        and rank-exit event)."""
+        if self.net._maybe_finish_shrink():
+            woken = sorted(self._shrink_waiting)
+            self._shrink_waiting.clear()
+            self._ready.extend(woken)
 
     def try_match(self, dst: int, source: int, tag: int):
         """Non-blocking probe.  On a miss, yield the token once (requeue
@@ -251,7 +292,11 @@ class CoopEngine:
         the engine prove nobody can make progress."""
         net = self.net
         net._check_abort()
+        if net.faults is not None:
+            net._crash_check(dst)
         msg = net._pop_match(dst, source, tag)
+        if msg is None and net._dead and source in net._failed_peers():
+            raise net._fail_detect(dst)
         if msg is not None or not self._ready:
             return msg
         self._ready.append(dst)
@@ -270,38 +315,86 @@ class CoopEngine:
     def _hand_off(self) -> None:
         """Pass the token to the next runnable rank.
 
-        If nobody is runnable but ranks are still blocked, this is either
-        the tail of an abort (wake one so it observes the abort and
-        unwinds, which chains to the rest) or a genuine deadlock (declare
-        it, then unwind the same way).  With no live ranks left, control
-        returns to the launcher.
+        If nobody is runnable but ranks are still blocked, then (in
+        priority order): under a declared death, wake the blocked ranks
+        that can now prove their operation will never complete (parked
+        rendezvous first — their unwind fail-stops them, which makes
+        receives *from* them detectable — then receives whose source is a
+        failed peer), one at a time, so each raises ``RankFailedError``
+        at its own blocking point; otherwise this is either the tail of
+        an abort (wake one so it observes the abort and unwinds, which
+        chains to the rest) or a genuine deadlock (declare it with the
+        full parked-rank report, then unwind the same way).  With no live
+        ranks left, control returns to the launcher.
         """
         if self._ready:
             self._resume[self._ready.popleft()].release()
             return
-        if self._waiting or self._rv_parked:
-            if not self.net.aborted:
-                parts = [f"rank {r} waiting on (source={s}, tag={t})"
-                         for r, (s, t) in sorted(self._waiting.items())]
-                if self._rv_parked:
-                    sig = self._rv.sig if self._rv is not None else ("?",)
-                    parts.extend(
-                        f"rank {r} parked at the {sig[0]!r} fused-collective "
-                        f"rendezvous" for r in sorted(self._rv_parked))
-                nblocked = len(self._waiting) + len(self._rv_parked)
-                self.net.abort(DeadlockError(
-                    f"all {nblocked} live rank(s) blocked on receives or "
-                    f"collective rendezvous that can never match: "
-                    + ", ".join(parts)))
+        if self._waiting or self._rv_parked or self._shrink_waiting:
+            net = self.net
+            if not net.aborted:
+                if net._dead:
+                    if self._rv_parked:
+                        rank = min(self._rv_parked)
+                        self._rv_parked.remove(rank)
+                        self._resume[rank].release()
+                        return
+                    failed = net._failed_peers()
+                    cand = [r for r, st in self._waiting.items()
+                            if st[0] in failed]
+                    if cand:
+                        rank = min(cand)
+                        del self._waiting[rank]
+                        self._resume[rank].release()
+                        return
+                    # Shrink completion is re-checked at every park and
+                    # exit event, so reaching here with only live-source
+                    # receives left is a genuine deadlock.
+                self._declare_deadlock()
             if self._waiting:
                 rank = min(self._waiting)
                 del self._waiting[rank]
-            else:
+            elif self._rv_parked:
                 rank = min(self._rv_parked)
                 self._rv_parked.remove(rank)
+            else:
+                rank = min(self._shrink_waiting)
+                self._shrink_waiting.remove(rank)
             self._resume[rank].release()
             return
         self._main.release()
+
+    def _declare_deadlock(self) -> None:
+        """Abort with a :class:`DeadlockError` reporting every parked
+        rank: the operation it is blocked on (receive channel, collective
+        signature, or the shrink barrier) and its simulated clock."""
+        net = self.net
+        clocks = net.clocks
+        blocked: list[dict] = []
+        parts: list[str] = []
+        for r, (s, t) in sorted(self._waiting.items()):
+            blocked.append({"rank": r, "op": "recv", "source": s,
+                            "tag": t, "clock": clocks[r]})
+            parts.append(f"rank {r} waiting on recv(source={s}, tag={t}) "
+                         f"at t={clocks[r]:.3e}s")
+        if self._rv_parked:
+            sig = self._rv.sig if self._rv is not None else ("?",)
+            for r in sorted(self._rv_parked):
+                blocked.append({"rank": r, "op": "collective", "sig": sig,
+                                "clock": clocks[r]})
+                parts.append(
+                    f"rank {r} parked at the {sig[0]!r} fused-collective "
+                    f"rendezvous (sig={sig!r}) at t={clocks[r]:.3e}s")
+        for r in sorted(self._shrink_waiting):
+            blocked.append({"rank": r, "op": "shrink", "clock": clocks[r]})
+            parts.append(f"rank {r} parked at the elastic shrink barrier "
+                         f"at t={clocks[r]:.3e}s")
+        msg = (f"all {len(blocked)} live rank(s) blocked on receives or "
+               f"collective rendezvous that can never match: "
+               + "; ".join(parts))
+        if net._dead:
+            msg += f" [dead ranks: {sorted(net._dead)}]"
+        net.abort(DeadlockError(msg, blocked=blocked))
 
     # ------------------------------------------------------------------
     # Per-rank thread body
@@ -314,6 +407,15 @@ class CoopEngine:
         comm = SimComm(net, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
+        except SimulatedRankCrash as exc:
+            # Planned fail-stop: no abort — survivors detect the death
+            # through the revoke state and may recover elastically.
+            failures[rank] = exc
+        except RankFailedError as exc:
+            # A survivor that chose not to (or could not) recover: no
+            # abort either — the revoke bookkeeping keeps its peers
+            # detecting/unwinding, and the launcher aggregates.
+            failures[rank] = exc
         except CommError as exc:
             # Secondary failure caused by another rank's abort: record only
             # if we are the first (i.e. the genuine origin).
@@ -325,6 +427,8 @@ class CoopEngine:
             net.abort(exc)
         finally:
             try:
+                net._on_rank_exit(rank)
+                self._check_shrink()
                 self._hand_off()
             except BaseException:  # pragma: no cover - invariant violated
                 # Fail open: never leave the launcher parked forever.

@@ -105,11 +105,19 @@ def fusion_enabled() -> bool:
 def _available(comm) -> bool:
     """Cheap gate: fused execution needs the cooperative engine (with
     fusion on), more than one rank, and no message tracing (the reference
-    path emits per-message ``TraceRecord``\\ s the replay does not)."""
+    path emits per-message ``TraceRecord``\\ s the replay does not).
+
+    Fault plans and shrunk/revoked worlds also force the reference path:
+    the fused executors book links with the raw model beta and bypass
+    :meth:`SimComm.compute`, so they would not see link slowdowns,
+    straggler scaling or crash times — and they address physical slots
+    ``0..P-1``, which a group communicator no longer spans."""
     net = comm.net
     sched = net._sched
     return (sched is not None and getattr(sched, "fused", False)
-            and not net.trace_enabled and comm.size > 1)
+            and not net.trace_enabled and comm.size > 1
+            and net.faults is None and not net.revoked
+            and comm.size == net.nranks)
 
 
 # ---------------------------------------------------------------------------

@@ -16,18 +16,31 @@ Simulated time is schedule-independent (links are booked in program order
 of the owning rank), so results, traffic counters and makespans are
 identical under both runners.  Pick a runner per call with ``runner=`` or
 globally with the ``REPRO_SPMD_RUNNER`` environment variable.
+
+Fault plans
+-----------
+
+Pass ``faults=FaultPlan(...)`` to inject deterministic link slowdowns,
+compute stragglers and rank crashes (see :mod:`repro.comm.faults`).  A
+planned crash (:class:`~repro.errors.SimulatedRankCrash`) is never a
+program error: if every *other* rank either also crashed on schedule or
+returned normally (elastic recovery), the run **succeeds** and the crashed
+ranks are reported in :attr:`SpmdResult.crashed` with ``None`` results.
+Survivors that did not recover raise :class:`RankFailedError` naming the
+dead ranks; the launcher merges those into one error.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import CommError, RankFailedError
+from ..errors import CommError, RankFailedError, SimulatedRankCrash
 from .communicator import SimComm
 from .engine import CoopEngine
+from .faults import FaultPlan
 from .model import NetworkModel
 from .network import Network, TrafficStats
 
@@ -60,6 +73,9 @@ class SpmdResult:
 
     results: List[Any]
     network: Network
+    #: ranks that fail-stopped on schedule under the fault plan (their
+    #: ``results`` entries are ``None``); empty for fault-free runs.
+    crashed: Dict[int, SimulatedRankCrash] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -83,6 +99,7 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
              trace: bool = False,
              runner: Optional[str] = None,
              fused: Optional[bool] = None,
+             faults: Optional[FaultPlan] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
 
@@ -100,7 +117,10 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
             engine (see :mod:`repro.comm.fused`); ``None`` (default)
             defers to the ``REPRO_FUSED`` environment variable (on unless
             set to ``0``).  The threaded runner always takes the
-            per-message reference path.
+            per-message reference path.  Ignored under a fault plan (the
+            fused executors bypass the per-rank fault hooks).
+        faults: declarative fault plan for this section (see module
+            docstring); only valid with a fresh network.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the network.
@@ -110,8 +130,16 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
             the network abort flag and their secondary errors suppressed.
             A global deadlock surfaces as a wrapped
             :class:`repro.errors.DeadlockError` (cooperative runner only).
+            Under a fault plan, planned crashes with non-recovering
+            survivors raise one merged error naming the dead ranks.
     """
-    net = network if network is not None else Network(nranks, model, trace=trace)
+    if network is not None and faults is not None:
+        raise ValueError(
+            "pass faults= only with a fresh network (the plan is compiled "
+            "into the Network at construction); build the Network with "
+            "faults= instead")
+    net = network if network is not None else Network(
+        nranks, model, trace=trace, faults=faults)
     if net.nranks != nranks:
         raise ValueError(
             f"network has {net.nranks} ranks but nranks={nranks} requested")
@@ -128,9 +156,26 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
                                        fused=fused).run(fn, args, kwargs)
 
     if failures:
-        genuine = {r: e for r, e in failures.items()
-                   if not isinstance(e, CommError)} or failures
-        raise RankFailedError(genuine)
+        crashes = {r: e for r, e in failures.items()
+                   if isinstance(e, SimulatedRankCrash)}
+        others = {r: e for r, e in failures.items() if r not in crashes}
+        if not others:
+            # Every failure was a planned fail-stop and every survivor
+            # returned normally (elastic recovery or no survivors left
+            # blocked): the section succeeded in the shrunk world.
+            return SpmdResult(results, net, crashed=crashes)
+        genuine = {r: e for r, e in others.items()
+                   if not isinstance(e, CommError)}
+        if genuine:
+            raise RankFailedError(genuine)
+        if all(isinstance(e, RankFailedError) for e in others.values()):
+            # Survivors unanimously detected the planned deaths: collapse
+            # their per-rank reports into one error naming the dead set.
+            merged: Dict[int, BaseException] = dict(crashes)
+            for e in others.values():
+                merged.update(e.failures)
+            raise RankFailedError(merged)
+        raise RankFailedError({**others, **crashes})
     return SpmdResult(results, net)
 
 
@@ -138,12 +183,17 @@ def _run_inline(net: Network, fn: Callable[..., Any], args: tuple,
                 kwargs: dict) -> tuple[List[Any], Dict[int, BaseException]]:
     results: List[Any] = [None]
     failures: Dict[int, BaseException] = {}
+    net._begin_section()
     comm = SimComm(net, 0)
     try:
         results[0] = fn(comm, *args, **kwargs)
+    except SimulatedRankCrash as exc:
+        failures[0] = exc
     except BaseException as exc:  # noqa: BLE001 - uniform failure report
         failures[0] = exc
         net.abort(exc)
+    finally:
+        net._on_rank_exit(0)
     return results, failures
 
 
@@ -154,11 +204,22 @@ def _run_threads(net: Network, nranks: int, fn: Callable[..., Any],
     results: List[Any] = [None] * nranks
     failures: Dict[int, BaseException] = {}
     failures_lock = threading.Lock()
+    net._begin_section()
 
     def runner(rank: int) -> None:
         comm = SimComm(net, rank)
         try:
             results[rank] = fn(comm, *args, **kwargs)
+        except SimulatedRankCrash as exc:
+            # Planned fail-stop: never an abort — survivors detect the
+            # death through the network's revoke bookkeeping.
+            with failures_lock:
+                failures[rank] = exc
+        except RankFailedError as exc:
+            # Survivor report of planned peer deaths: also not an abort
+            # (other survivors reach the same detection independently).
+            with failures_lock:
+                failures[rank] = exc
         except CommError as exc:
             # Secondary failure caused by another rank's abort: record only
             # if we are the first (i.e. the genuine origin).
@@ -170,6 +231,8 @@ def _run_threads(net: Network, nranks: int, fn: Callable[..., Any],
             with failures_lock:
                 failures[rank] = exc
             net.abort(exc)
+        finally:
+            net._on_rank_exit(rank)
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True,
                                 name=f"spmd-rank-{r}")

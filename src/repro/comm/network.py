@@ -46,7 +46,8 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import CommError
+from ..errors import CommError, RankFailedError, SimulatedRankCrash
+from .faults import FaultPlan, FaultState
 from .message import Message, TraceRecord
 from .model import NetworkModel
 from .payload import freeze as _freeze
@@ -86,7 +87,7 @@ class Network:
     _WAIT_TIMEOUT = 0.2
 
     def __init__(self, nranks: int, model: Optional[NetworkModel] = None, *,
-                 trace: bool = False):
+                 trace: bool = False, faults: Optional[FaultPlan] = None):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
@@ -122,6 +123,26 @@ class Network:
         #: send-buffer loan registry (cooperative zero-copy mode):
         #: id(arr) -> [arr, refcount]; arrays are write-locked while loaned
         self._loans: Dict[int, list] = {}
+        #: compiled fault plan; None keeps every hot path byte-identical to
+        #: the fault-free simulator (see repro.comm.faults)
+        self.fault_plan = faults
+        self.faults: Optional[FaultState] = (
+            faults.compile(nranks) if faults is not None else None)
+        # --- fail-stop / elastic-recovery bookkeeping -----------------
+        #: slot -> SimulatedRankCrash of every declared-dead rank
+        self._dead: Dict[int, SimulatedRankCrash] = {}
+        #: simulated time by which every declared death is detectable
+        self._detect_time = 0.0
+        #: survivors currently unwinding with a RankFailedError (they may
+        #: still recover by entering shrink); peers blocked on them detect
+        self._failstop: set[int] = set()
+        #: ranks whose program has returned (or failed) to the launcher
+        self._exited: set[int] = set()
+        #: survivors parked at the elastic shrink barrier
+        self._shrink_parked: set[int] = set()
+        self._shrink_epoch = 0
+        self._shrink_result: tuple[int, ...] = ()
+        self._shrink_cond = threading.Condition(self._lock)
 
     @property
     def cooperative(self) -> bool:
@@ -149,10 +170,16 @@ class Network:
         if self._abort_exc is not None:
             self._check_abort()
         m = self.model
+        beta = m.beta
+        if self.faults is not None:
+            self._crash_check(src)
+            if self.faults.link_faulty[src]:
+                beta *= self.faults.egress_factor(
+                    src, max(self.egress_free[src], sender_clock))
         t_start = self.egress_free[src]
         if sender_clock > t_start:
             t_start = sender_clock
-        t_end_tx = t_start + m.beta * nwords_
+        t_end_tx = t_start + beta * nwords_
         self.egress_free[src] = t_end_tx
         row = self._seq[src]
         msg = Message(src, dst, tag, row[dst], payload, nwords_,
@@ -208,8 +235,18 @@ class Network:
                 raise CommError(f"invalid destination rank {dst}")
             nwords_arr[i] = it[3]
         avail = m.isend_avail(sender_clock, n)
-        starts, ends = m.serialize_batch(self.egress_free[src], avail,
-                                         nwords_arr)
+        if self.faults is not None:
+            self._crash_check(src)
+            if self.faults.link_faulty[src]:
+                starts, ends = self._serialize_batch_faulted(
+                    self.faults.egress[src], self.egress_free[src], avail,
+                    nwords_arr)
+            else:
+                starts, ends = m.serialize_batch(self.egress_free[src],
+                                                 avail, nwords_arr)
+        else:
+            starts, ends = m.serialize_batch(self.egress_free[src], avail,
+                                             nwords_arr)
         self.egress_free[src] = float(ends[-1])
         alpha = m.alpha
         row = self._seq[src]
@@ -251,7 +288,12 @@ class Network:
             return self._sched.try_match(dst, source, tag)
         with self._lock:
             self._check_abort()
-            return self._pop_match(dst, source, tag)
+            if self.faults is not None:
+                self._crash_check(dst)
+            msg = self._pop_match(dst, source, tag)
+            if msg is None and self._dead and source in self._failed_peers():
+                raise self._fail_detect(dst)
+            return msg
 
     def match_blocking(self, dst: int, source: int, tag: int) -> Message:
         """Block until a matching message arrives, then pop it.
@@ -266,9 +308,13 @@ class Network:
         with cond:
             while True:
                 self._check_abort()
+                if self.faults is not None:
+                    self._crash_check(dst)
                 msg = self._pop_match(dst, source, tag)
                 if msg is not None:
                     return msg
+                if self._dead and source in self._failed_peers():
+                    raise self._fail_detect(dst)
                 cond.wait(self._WAIT_TIMEOUT)
 
     def _pop_match(self, dst: int, source: int,
@@ -294,7 +340,10 @@ class Network:
         t_done = self.ingress_free[dst]
         if msg.t_first > t_done:
             t_done = msg.t_first
-        t_done += self.model.beta * msg.nwords
+        beta = self.model.beta
+        if self.faults is not None and self.faults.link_faulty[dst]:
+            beta *= self.faults.ingress_factor(dst, t_done)
+        t_done += beta * msg.nwords
         self.ingress_free[dst] = t_done
         msg.t_done = t_done
         self.words_recv[dst] += msg.nwords
@@ -332,6 +381,12 @@ class Network:
         if len(msgs) == 1:
             return self._deliver_impl(msgs[0])
         dst = msgs[0].dst
+        if self.faults is not None and self.faults.link_faulty[dst]:
+            # Per-message ingress factors: take the exact scalar path.
+            t_done = 0.0
+            for msg in msgs:
+                t_done = self._deliver_impl(msg)
+            return t_done
         n = len(msgs)
         nwords_arr = np.empty(n, dtype=np.float64)
         avail = np.empty(n, dtype=np.float64)
@@ -402,6 +457,7 @@ class Network:
                 self._abort_exc = exc
             for cond in self._conds:
                 cond.notify_all()
+            self._shrink_cond.notify_all()
 
     def _check_abort(self) -> None:
         if self._abort_exc is not None:
@@ -411,6 +467,207 @@ class Network:
     @property
     def aborted(self) -> bool:
         return self._abort_exc is not None
+
+    # ------------------------------------------------------------------
+    # Fail-stop faults and elastic shrink (see repro.comm.faults)
+    # ------------------------------------------------------------------
+    # A planned crash raises SimulatedRankCrash in the dying rank at a
+    # deterministic program point and *declares* the death on the shared
+    # state.  Survivors detect it only at blocking points — a receive
+    # whose source can never answer raises RankFailedError with the
+    # rank's clock charged to ``death_time + detect_timeout`` — so the
+    # detection program point and clock are identical across runners.
+    # Survivors that catch the error may re-join through :meth:`shrink`
+    # (a barrier over the remaining ranks, ULFM ``MPI_Comm_shrink``
+    # style); everyone else unwinds to the launcher.
+
+    @property
+    def revoked(self) -> bool:
+        """True once any rank has been declared dead."""
+        return bool(self._dead)
+
+    @property
+    def dead_ranks(self) -> tuple:
+        return tuple(sorted(self._dead))
+
+    def revoke(self, rank: int, time: Optional[float] = None) -> None:
+        """Externally declare ``rank`` dead (the ULFM ``comm_revoke``
+        analog; fault plans use the same path internally).  The revoked
+        rank is not interrupted — tests pair this with a program that
+        returns right after revoking itself."""
+        t = self.clocks[rank] if time is None else float(time)
+        exc = SimulatedRankCrash(rank, t)
+        if self._sched is not None:
+            self._declare_dead(rank, exc)
+        else:
+            with self._lock:
+                self._declare_dead(rank, exc)
+
+    def _crash_check(self, rank: int) -> None:
+        """Die if ``rank``'s clock has reached its planned crash time
+        (callers gate on ``self.faults is not None``)."""
+        if self.clocks[rank] >= self.faults.crash_time[rank]:
+            raise self._crash_now(rank)
+
+    def _crash_now(self, rank: int) -> SimulatedRankCrash:
+        exc = SimulatedRankCrash(rank, self.clocks[rank])
+        self._declare_dead(rank, exc)
+        return exc
+
+    def _crash_outside_lock(self, rank: int) -> SimulatedRankCrash:
+        """Like :meth:`_crash_now`, for callers that do *not* hold the
+        network lock (``SimComm.compute``/``maybe_crash`` run outside
+        it under the threaded runner)."""
+        if self._sched is None:
+            with self._lock:
+                return self._crash_now(rank)
+        return self._crash_now(rank)
+
+    def _declare_dead(self, rank: int, exc: SimulatedRankCrash) -> None:
+        """Record a death; threads-mode callers hold (or are given) the
+        lock, cooperative mode is single-threaded."""
+        if rank in self._dead:
+            return
+        self._dead[rank] = exc
+        timeout = self.faults.detect_timeout if self.faults is not None \
+            else 0.0
+        deadline = exc.time + timeout
+        if deadline > self._detect_time:
+            self._detect_time = deadline
+        if self._sched is None:
+            for cond in self._conds:
+                cond.notify_all()
+            self._shrink_cond.notify_all()
+
+    def _failed_peers(self) -> set:
+        """Ranks that will never post again: dead, unwinding with a
+        detection error, exited, or parked at the shrink barrier."""
+        return set(self._dead) | self._failstop | self._exited \
+            | self._shrink_parked
+
+    def _fail_detect(self, rank: int) -> RankFailedError:
+        """Charge ``rank``'s detection latency, mark it fail-stopped (so
+        peers blocked on *it* detect transitively) and build the error."""
+        if self._detect_time > self.clocks[rank]:
+            self.clocks[rank] = self._detect_time
+        self._failstop.add(rank)
+        if self._sched is None:
+            for cond in self._conds:
+                cond.notify_all()
+            self._shrink_cond.notify_all()
+        return RankFailedError(dict(self._dead))
+
+    def _begin_section(self) -> None:
+        """Reset per-section failure bookkeeping (a network may be reused
+        across SPMD sections; declared deaths are permanent, the
+        exited/fail-stopped sets are not)."""
+        self._exited.clear()
+        self._failstop.clear()
+        self._shrink_parked.clear()
+
+    def _on_rank_exit(self, rank: int) -> None:
+        """A rank's program returned (or failed) to the launcher: it will
+        never post again, and shrink barriers must stop counting it."""
+        if self._sched is not None:
+            self._exited.add(rank)
+            return
+        with self._lock:
+            self._exited.add(rank)
+            if self._dead:
+                for cond in self._conds:
+                    cond.notify_all()
+            self._maybe_finish_shrink()
+            self._shrink_cond.notify_all()
+
+    def shrink(self, rank: int) -> tuple:
+        """Elastic shrink barrier: park until every remaining live rank
+        has joined, then return the sorted tuple of surviving slots.
+
+        The completing arrival flushes all mailboxes (in-flight traffic
+        of the interrupted iteration, including anything a rank posted
+        before dying), releases their send-buffer loans, and synchronizes
+        the group's clocks to ``max(group clocks, detection deadline)``
+        — all deterministic, so the resumed world is bit-identical
+        across runners.
+        """
+        if self._sched is not None:
+            return self._sched.shrink(rank)
+        with self._lock:
+            epoch = self._shrink_epoch
+            self._failstop.discard(rank)
+            self._shrink_parked.add(rank)
+            for cond in self._conds:
+                cond.notify_all()
+            if not self._maybe_finish_shrink():
+                while self._shrink_epoch == epoch:
+                    self._check_abort()
+                    self._shrink_cond.wait(self._WAIT_TIMEOUT)
+                    if self._shrink_epoch != epoch:
+                        break
+                    self._maybe_finish_shrink()
+            return self._shrink_result
+
+    def _maybe_finish_shrink(self) -> bool:
+        parked = self._shrink_parked
+        if not parked:
+            return False
+        gone = set(self._dead) | self._exited
+        if len(parked) < self.nranks - len(gone):
+            return False
+        self._finish_shrink()
+        return True
+
+    def _finish_shrink(self) -> None:
+        group = tuple(sorted(self._shrink_parked))
+        self._flush_mailboxes()
+        t_sync = self._detect_time
+        for r in group:
+            if self.clocks[r] > t_sync:
+                t_sync = self.clocks[r]
+        for r in group:
+            self.clocks[r] = t_sync
+        self._failstop.difference_update(group)
+        self._shrink_parked.clear()
+        self._shrink_result = group
+        self._shrink_epoch += 1
+        if self._sched is None:
+            self._shrink_cond.notify_all()
+
+    def _flush_mailboxes(self) -> None:
+        """Drop every undelivered message (the interrupted iteration's
+        traffic), returning any send-buffer loans."""
+        for mailbox in self._queues:
+            for chan in mailbox.values():
+                for msg in chan:
+                    if msg.loans:
+                        self.release_loans(msg)
+                chan.clear()
+
+    def _serialize_batch_faulted(self, windows: list, free: float,
+                                 avail: np.ndarray, nwords: np.ndarray,
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scalar egress fold with the per-message slowdown factor
+        evaluated at each booking start — the faulted counterpart of
+        :meth:`NetworkModel.serialize_batch` (plain-float fold, so a
+        factor-1.0 window set reproduces the unfaulted times exactly)."""
+        beta = self.model.beta
+        n = len(nwords)
+        starts = np.empty(n)
+        ends = np.empty(n)
+        end = free
+        al = np.asarray(avail, dtype=np.float64).tolist()
+        nl = np.asarray(nwords, dtype=np.float64).tolist()
+        for i in range(n):
+            a = al[i]
+            start = end if end > a else a
+            fac = 1.0
+            for t0, t1, f in windows:
+                if t0 <= start < t1:
+                    fac *= f
+            end = start + beta * fac * nl[i]
+            starts[i] = start
+            ends[i] = end
+        return starts, ends
 
     # ------------------------------------------------------------------
     # Diagnostic save/restore (used by xi measurement so that the extra

@@ -49,9 +49,9 @@ def measure_steady_state_volume(scheme: str, n: int, p: int, k: int,
         for t in (1, 2):
             acc = rng.normal(size=n).astype(np.float32)
             if t == 2:
-                before = int(comm.net.words_recv[comm.rank])
+                before = int(comm.net.words_recv[comm.slot])
             algo.reduce(comm, acc, t)
-        return int(comm.net.words_recv[comm.rank]) - before
+        return int(comm.net.words_recv[comm.slot]) - before
 
     res = run_spmd(p, prog)
     agg = np.max if statistic == "max" else np.mean

@@ -45,6 +45,25 @@ class ShardedLoader:
         lo, hi = self._shard_bounds()
         return hi - lo
 
+    def reshard(self, rank: int, size: int) -> None:
+        """Re-key this loader to a resized world (elastic recovery).
+
+        The global batch size and the seeded epoch permutation are
+        unchanged — the survivors simply split each global batch ``size``
+        ways instead, so the union of shards still covers exactly the
+        same global batches in the same order.
+        """
+        if self.global_batch < size:
+            raise ConfigError(
+                f"global batch {self.global_batch} < number of workers "
+                f"{size}")
+        if not 0 <= rank < size:
+            raise ConfigError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        bounds = np.linspace(0, self.global_batch, size + 1).astype(int)
+        self._bounds = (int(bounds[rank]), int(bounds[rank + 1]))
+
     def _shard_bounds(self) -> tuple[int, int]:
         return self._bounds
 

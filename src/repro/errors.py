@@ -18,20 +18,50 @@ class CommError(ReproError):
 
 
 class RankFailedError(CommError):
-    """One or more SPMD ranks raised an exception.
+    """One or more SPMD ranks failed.
+
+    Raised by the launcher when rank programs raised genuine errors, and
+    on every *surviving* rank when a peer fail-stops under a fault plan
+    (see :mod:`repro.comm.faults`) — there ``failures`` maps each dead
+    rank to its :class:`SimulatedRankCrash`.
 
     Attributes:
-        failures: mapping ``rank -> exception`` for every failed rank.
+        failures: mapping ``rank -> exception``, in ascending rank order.
+        failed_ranks: the sorted tuple of failed rank ids.
     """
 
     def __init__(self, failures: dict[int, BaseException]):
-        self.failures = dict(failures)
-        ranks = ", ".join(str(r) for r in sorted(self.failures))
-        first = next(iter(self.failures.values()))
+        self.failures = dict(sorted(failures.items()))
+        self.failed_ranks = tuple(self.failures)
+        ranks = ", ".join(str(r) for r in self.failed_ranks)
+        parts = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}"
+            for r, e in self.failures.items())
         super().__init__(
             f"{len(self.failures)} rank(s) failed (ranks {ranks}); "
-            f"first error: {type(first).__name__}: {first}"
+            f"{parts}"
         )
+
+
+class SimulatedRankCrash(CommError):
+    """A rank fail-stopped on schedule under a :class:`FaultPlan`.
+
+    Raised *in the crashing rank* at a deterministic program point; never
+    treated as a genuine program error by the launcher (survivors either
+    recover elastically or raise :class:`RankFailedError` naming this
+    rank).
+
+    Attributes:
+        rank: the dead rank's network slot.
+        time: the simulated death time in seconds.
+    """
+
+    def __init__(self, rank: int, time: float):
+        self.rank = rank
+        self.time = float(time)
+        super().__init__(
+            f"rank {rank} crashed at simulated t={self.time:.6e}s "
+            f"(fault plan)")
 
 
 class MatchError(CommError):
@@ -43,7 +73,19 @@ class DeadlockError(CommError):
 
     Only the cooperative runner can prove this (it sees the global blocked
     set); the threaded runner would simply hang until interrupted.
+
+    Attributes:
+        blocked: one dict per parked rank —
+            ``{"rank", "op", "clock", ...}`` where ``op`` is ``"recv"``
+            (with ``"source"``/``"tag"``), ``"collective"`` (with
+            ``"sig"``) or ``"shrink"``, and ``clock`` is the rank's
+            simulated time at the moment it parked.  Empty when raised
+            outside the cooperative engine.
     """
+
+    def __init__(self, msg: str, blocked: list[dict] | None = None):
+        super().__init__(msg)
+        self.blocked = list(blocked or ())
 
 
 class SparseFormatError(ReproError):

@@ -48,6 +48,9 @@ class RunRecord:
     scheme: str
     p: int
     records: List[IterationRecord] = field(default_factory=list)
+    #: world-change events (elastic recovery): one dict per shrink with
+    #: ``{"event", "t", "failed_ranks", "old_size", "new_size", "clock"}``
+    events: List[dict] = field(default_factory=list)
 
     def append(self, rec: IterationRecord) -> None:
         self.records.append(rec)

@@ -54,7 +54,7 @@ import numpy as np
 
 from ..allreduce import ParamLayout, make_allreduce, visible_comm_time
 from ..comm import SimComm
-from ..errors import ConfigError
+from ..errors import ConfigError, RankFailedError
 from ..optim import Adam, SparseOptimWrapper, TopkSGD
 from .records import IterationRecord, RunRecord
 from .xi import measure_xi
@@ -108,6 +108,12 @@ class TrainerConfig:
     #: "analytic" (default, PR-2 replay accounting) or "stream"
     #: (discrete-event overlap on the simulated clock; see module doc)
     overlap_mode: str = "analytic"
+    #: survive peer fail-stops (fault plans, see :mod:`repro.comm.faults`):
+    #: on :class:`~repro.errors.RankFailedError` the trainer checkpoints,
+    #: shrinks the communicator to the survivors, re-keys the allreduce
+    #: state and data shards to P-1 and redoes the interrupted iteration.
+    #: Off (default) the error propagates to the launcher.
+    elastic: bool = False
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -203,96 +209,155 @@ class Trainer:
 
     # ------------------------------------------------------------------
     def run(self) -> RunRecord:
+        cfg = self.cfg
+        t = 1
+        while t <= cfg.iterations:
+            # Iteration-pinned planned crashes fire here (no-op without a
+            # fault plan); survivors detect the death inside the
+            # iteration's first blocking communication.
+            self.comm.maybe_crash(iteration=t)
+            try:
+                self._run_iteration(t)
+            except RankFailedError as exc:
+                if not cfg.elastic:
+                    raise
+                self._recover(exc, t)
+                continue  # redo the interrupted iteration at P-1
+            t += 1
+        return self.record
+
+    def _run_iteration(self, t: int) -> None:
         comm, cfg, model = self.comm, self.cfg, self.model
         stream = cfg.overlap_mode == "stream"
-        for t in range(1, cfg.iterations + 1):
-            x, y = self.batches.next_batch(t)
-            loss, grad = model.loss_and_grad(x, y)
+        x, y = self.batches.next_batch(t)
+        loss, grad = model.loss_and_grad(x, y)
 
-            clock0 = comm.clock
-            recv0 = int(comm.net.words_recv[comm.rank])
-            if stream:
-                # The compute lump is charged incrementally by the pacer
-                # between segment pushes (inside driver.step), so the
-                # clock tracks the backward timeline while buckets issue.
-                compute_time = comm.net.model.flop_time * max(
-                    0.0, model.train_flops(len(x)))
-            else:
-                comm.compute(0.0)  # anchor
-                with comm.phase("compute"):
-                    comm.compute_flops(model.train_flops(len(x)))
-                compute_time = comm.clock - clock0
+        clock0 = comm.clock
+        recv0 = int(comm.net.words_recv[comm.slot])
+        if stream:
+            # The compute lump is charged incrementally by the pacer
+            # between segment pushes (inside driver.step), so the
+            # clock tracks the backward timeline while buckets issue.
+            compute_time = comm.net.model.flop_time * max(
+                0.0, model.train_flops(len(x)))
+        else:
+            comm.compute(0.0)  # anchor
+            with comm.phase("compute"):
+                comm.compute_flops(model.train_flops(len(x)))
+            compute_time = comm.clock - clock0
 
-            xi = None
-            if cfg.xi_every and t % cfg.xi_every == 0:
-                xi = self._measure_xi(grad, t)
+        xi = None
+        if cfg.xi_every and t % cfg.xi_every == 0:
+            xi = self._measure_xi(grad, t)
 
-            analytic_visible: Optional[float] = None
-            stream_fallback = False
-            if stream:
-                pacer = _BackwardPacer(comm, compute_time,
-                                       cfg.overlap_backward_fraction,
-                                       self.layout.n)
-                info = self.driver.step(comm, model.params_flat, grad,
-                                        pacer=pacer)
-                res = info.result
-                sparsify = res.sparsify_time
-                comm_t = res.comm_time
-                # The discrete-event timeline *is* the measurement.
-                iter_time = comm.clock - clock0
-                visible_comm = max(0.0,
-                                   iter_time - compute_time - sparsify)
-                # Cross-check: the analytic replay over the same bucket
-                # stats; equal under zero contention, diverges in either
-                # direction once transfers contend (see module doc).
-                analytic_visible = visible_comm_time(
+        analytic_visible: Optional[float] = None
+        stream_fallback = False
+        if stream:
+            pacer = _BackwardPacer(comm, compute_time,
+                                   cfg.overlap_backward_fraction,
+                                   self.layout.n)
+            info = self.driver.step(comm, model.params_flat, grad,
+                                    pacer=pacer)
+            res = info.result
+            sparsify = res.sparsify_time
+            comm_t = res.comm_time
+            # The discrete-event timeline *is* the measurement.
+            iter_time = comm.clock - clock0
+            visible_comm = max(0.0,
+                               iter_time - compute_time - sparsify)
+            # Cross-check: the analytic replay over the same bucket
+            # stats; equal under zero contention, diverges in either
+            # direction once transfers contend (see module doc).
+            analytic_visible = visible_comm_time(
+                res.bucket_stats, compute_time,
+                cfg.overlap_backward_fraction, comm_t)
+            # Surface a session that could not stream (delegating
+            # adapter ran post-backward): these timings are analytic.
+            stream_fallback = bool(
+                res.bucket_stats
+                and res.bucket_stats[0].info.get("stream_fallback"))
+        else:
+            step_clock = comm.clock
+            info = self.driver.step(comm, model.params_flat, grad)
+            step_time = comm.clock - step_clock
+            res = info.result
+
+            sparsify = res.sparsify_time
+            comm_t = max(0.0, step_time - sparsify)
+            if res.bucket_stats is not None:
+                # Generic timeline: replay the buckets' communication
+                # against their backward-release times.
+                visible_comm = visible_comm_time(
                     res.bucket_stats, compute_time,
                     cfg.overlap_backward_fraction, comm_t)
-                # Surface a session that could not stream (delegating
-                # adapter ran post-backward): these timings are analytic.
-                stream_fallback = bool(
-                    res.bucket_stats
-                    and res.bucket_stats[0].info.get("stream_fallback"))
+            elif res.overlappable:
+                # Legacy one-shot path (direct reduce, no session).
+                credit = cfg.overlap_backward_fraction * compute_time
+                visible_comm = max(0.0, comm_t - credit)
             else:
-                step_clock = comm.clock
-                info = self.driver.step(comm, model.params_flat, grad)
-                step_time = comm.clock - step_clock
-                res = info.result
+                visible_comm = comm_t
+            iter_time = compute_time + sparsify + visible_comm
 
-                sparsify = res.sparsify_time
-                comm_t = max(0.0, step_time - sparsify)
-                if res.bucket_stats is not None:
-                    # Generic timeline: replay the buckets' communication
-                    # against their backward-release times.
-                    visible_comm = visible_comm_time(
-                        res.bucket_stats, compute_time,
-                        cfg.overlap_backward_fraction, comm_t)
-                elif res.overlappable:
-                    # Legacy one-shot path (direct reduce, no session).
-                    credit = cfg.overlap_backward_fraction * compute_time
-                    visible_comm = max(0.0, comm_t - credit)
-                else:
-                    visible_comm = comm_t
-                iter_time = compute_time + sparsify + visible_comm
+        rec = IterationRecord(
+            t=t, loss=float(loss), lr=float(info.lr),
+            compute_time=compute_time, sparsify_time=sparsify,
+            comm_time=comm_t, iteration_time=iter_time,
+            words_recv=int(comm.net.words_recv[comm.slot]) - recv0,
+            selected=res.info.get("selected",
+                                  res.info.get("selected_local")),
+            xi=xi,
+            overlap_saved=max(0.0, comm_t - visible_comm),
+            nbuckets=res.nbuckets,
+            analytic_visible_comm=analytic_visible,
+            stream_fallback=stream_fallback,
+        )
+        if cfg.eval_every and self.eval_fn is not None and (
+                t % cfg.eval_every == 0 or t == cfg.iterations):
+            rec.eval_metrics = self.eval_fn(model)
+        self.record.append(rec)
 
-            rec = IterationRecord(
-                t=t, loss=float(loss), lr=float(info.lr),
-                compute_time=compute_time, sparsify_time=sparsify,
-                comm_time=comm_t, iteration_time=iter_time,
-                words_recv=int(comm.net.words_recv[comm.rank]) - recv0,
-                selected=res.info.get("selected",
-                                      res.info.get("selected_local")),
-                xi=xi,
-                overlap_saved=max(0.0, comm_t - visible_comm),
-                nbuckets=res.nbuckets,
-                analytic_visible_comm=analytic_visible,
-                stream_fallback=stream_fallback,
-            )
-            if cfg.eval_every and self.eval_fn is not None and (
-                    t % cfg.eval_every == 0 or t == cfg.iterations):
-                rec.eval_metrics = self.eval_fn(model)
-            self.record.append(rec)
-        return self.record
+    # ------------------------------------------------------------------
+    def _recover(self, exc: RankFailedError, t: int) -> None:
+        """Elastic recovery from peer fail-stops (ULFM shrink-and-go).
+
+        The optimizer drivers mutate params/residual only *after* a
+        completed allreduce, so when the failure surfaces mid-iteration
+        both still hold their iteration ``t-1`` values; the step counter
+        is the one thing already advanced (``TopkSGD``/
+        ``SparseOptimWrapper`` increment it on entry).  Recovery:
+        checkpoint the surviving state, shrink the communicator over the
+        remaining live ranks (a deterministic barrier that also flushes
+        in-flight traffic and syncs clocks), re-key the allreduce's
+        per-world state and the data shards to the new size, roll the
+        step counter back, and let :meth:`run` redo iteration ``t``.
+        """
+        old = self.comm
+        ckpt = self.checkpoint()
+        new = old.shrink()
+        self.comm = new
+        self.model.params_flat[:] = ckpt["params"]
+        self.driver.residual[:] = ckpt["residual"]
+        self.driver.t = t - 1
+        self.allreduce.on_world_resize(new.size)
+        reshard = getattr(self.batches, "reshard", None)
+        if reshard is not None:
+            reshard(new.rank, new.size)
+        self.record.events.append({
+            "event": "shrink", "t": t,
+            "failed_ranks": list(exc.failed_ranks),
+            "old_size": old.size, "new_size": new.size,
+            "clock": new.clock,
+        })
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot the state a survivor needs to redo an iteration:
+        parameters, error-feedback residual, step counter, clock."""
+        return {
+            "t": self.driver.t,
+            "params": np.array(self.model.params_flat, copy=True),
+            "residual": np.array(self.driver.residual, copy=True),
+            "clock": self.comm.clock,
+        }
 
     # ------------------------------------------------------------------
     def _measure_xi(self, grad: np.ndarray, t: int) -> float:

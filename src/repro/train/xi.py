@@ -70,12 +70,12 @@ def measure_xi(comm: SimComm, acc: np.ndarray, scaled_grad: np.ndarray,
     barriers are needed: every message the measurement posts is consumed
     by the measurement's own collectives.
     """
-    state = comm.net.save_rank_state(comm.rank)
+    state = comm.net.save_rank_state(comm.slot)
     accs = coll.gather(comm, acc, root=0)
     grads = coll.gather(comm, scaled_grad, root=0)
     xi: Optional[float] = None
     if comm.rank == 0:
         xi = xi_value(accs, grads, k)
     xi = coll.bcast(comm, xi, root=0)
-    comm.net.restore_rank_state(comm.rank, state)
+    comm.net.restore_rank_state(comm.slot, state)
     return float(xi)
