@@ -226,6 +226,68 @@ def fault_degradation(iters: int) -> dict:
     return out
 
 
+# ---------------------------------------------------------------------------
+# Serving regimes (simulated time, not wall-clock)
+# ---------------------------------------------------------------------------
+def serving_regimes(quick: bool) -> dict:
+    """p50/p99 latency and goodput of the P=4 serving loop, per allreduce
+    algorithm choice, in a latency-bound (decode-heavy), a bandwidth-bound
+    (prefill-heavy) and a mixed regime.
+
+    Simulated seconds — deterministic per (seed, config), no reps, and
+    the same size in quick mode (it is cheap), so the quick gate
+    reproduces the committed ratios bit-exactly.  The pinned qualitative
+    result: the size-adaptive selector matches or beats both fixed
+    choices on each regime's governing metric — **p99 inter-token
+    latency** in the decode-bound regime (end-to-end makespan of a
+    drained open-loop run is a batching outcome there: slower decode
+    steps queue arrivals into bigger batches, trading per-token latency
+    for fewer steps) and **makespan** in the prefill-bound and mixed
+    regimes.  Provenance of the chosen schedules is recorded per run.
+    """
+    from dataclasses import replace
+
+    from repro.serve import ServeConfig, simulate_serving
+
+    del quick  # simulated time: full size always
+    n = 32
+    base = ServeConfig(p=4, n_requests=n, max_batch_size=8, seed=0)
+    regimes = {
+        "decode_bound": replace(base, rate=3000.0, prompt_tokens=4,
+                                output_tokens=16),
+        "prefill_bound": replace(base, rate=3000.0, prompt_tokens=192,
+                                 output_tokens=1),
+        "mixed": replace(base, rate=2000.0, prompt_tokens=96,
+                         output_tokens=8),
+    }
+    out: dict = {"p": 4, "n_requests": n}
+    for name, cfg in regimes.items():
+        entry: dict = {"config": {
+            "rate": cfg.rate, "prompt_tokens": cfg.prompt_tokens,
+            "output_tokens": cfg.output_tokens}}
+        for alg in ("latency", "bandwidth", "adaptive"):
+            rep = simulate_serving(replace(cfg, algorithm=alg))
+            s = rep.summary()
+            entry[alg] = {
+                "makespan_sim_s": s["makespan"],
+                "goodput_tokens_per_s": s["goodput_tokens_per_s"],
+                "ttft_p50": s["ttft_p50"], "ttft_p99": s["ttft_p99"],
+                "itl_p50": s["itl_p50"], "itl_p99": s["itl_p99"],
+                "latency_p50": s["latency_p50"],
+                "latency_p99": s["latency_p99"],
+                "algorithms": rep.algorithms,
+            }
+        metric = ("itl_p99" if name == "decode_bound"
+                  else "makespan_sim_s")
+        entry["metric"] = metric
+        entry["adaptive_vs_latency"] = (
+            entry["latency"][metric] / entry["adaptive"][metric])
+        entry["adaptive_vs_bandwidth"] = (
+            entry["bandwidth"][metric] / entry["adaptive"][metric])
+        out[name] = entry
+    return out
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true",
@@ -354,6 +416,16 @@ def main(argv=None) -> int:
 
     results["fault_degradation"] = fault_degradation(train_iters)
 
+    results["serving"] = serving_regimes(args.quick)
+    for regime in ("decode_bound", "prefill_bound", "mixed"):
+        entry = results["serving"][regime]
+        # simulated-time ratios: deterministic, so gate-stable at any
+        # threshold — a drop means the selector itself changed
+        results["speedups"][f"serve_{regime}_adaptive_vs_latency"] = \
+            entry["adaptive_vs_latency"]
+        results["speedups"][f"serve_{regime}_adaptive_vs_bandwidth"] = \
+            entry["adaptive_vs_bandwidth"]
+
     results["phase_breakdown"] = phase_breakdown(reps, args.quick)
     if fused_on:
         results["speedups"]["barrier_p16_fused_vs_reference"] = (
@@ -388,6 +460,24 @@ def main(argv=None) -> int:
           f"{fd[s]['degradation']:.2f}x"] for s in ("dense", "oktopk")],
         title="fault-plan degradation (seeded p99 straggler + slow link, "
               "P=4, simulated time)"))
+    print()
+    sv = results["serving"]
+    sv_rows = []
+    for regime in ("decode_bound", "prefill_bound", "mixed"):
+        for alg in ("latency", "bandwidth", "adaptive"):
+            e = sv[regime][alg]
+            itl = e["itl_p99"]
+            sv_rows.append([
+                regime, alg, f"{e['makespan_sim_s'] * 1e3:.3f}",
+                f"{e['ttft_p99'] * 1e6:.1f}",
+                f"{itl * 1e6:.1f}" if itl == itl else "-",
+                f"{e['goodput_tokens_per_s']:.0f}"])
+    print(format_table(
+        ["regime", "algorithm", "makespan (ms)", "ttft p99 (us)",
+         "itl p99 (us)", "goodput (tok/s)"],
+        sv_rows,
+        title=f"serving regimes (P=4, {sv['n_requests']} requests, "
+              "simulated time; adaptive = size-based selector)"))
     print()
     pb = results["phase_breakdown"]
     print(format_table(

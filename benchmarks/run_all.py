@@ -3,11 +3,14 @@
 
 * default: every ``bench_*.py`` pytest benchmark (the paper-figure
   reproductions) followed by the wall-clock perf benchmark;
-* ``--quick``: a post-merge smoke check — the fast non-slow unit tests plus
+* ``--quick``: a post-merge smoke check — the fast non-slow unit tests,
+  the fault-injection and serving smokes, plus
   ``bench_perf_wallclock.py --quick`` (a couple of minutes total).  The
   quick perf run covers the bucketed and streaming session cases for
   dense/topka/oktopk, so the Ok-Topk shared-state bucketed-stream path is
-  exercised on every post-merge smoke.
+  exercised on every post-merge smoke; the serving smoke pins the
+  P=4 tensor-parallel serving loop's cross-runner bit-identity and the
+  size-adaptive allreduce selector.
 
 Perf regression gate
 --------------------
@@ -95,6 +98,7 @@ def main(argv=None) -> int:
             rc |= _run([sys.executable, "-m", "pytest", "-q",
                         "-m", "not slow", "tests"])
         rc |= _run([sys.executable, str(BENCH_DIR / "fault_smoke.py")])
+        rc |= _run([sys.executable, str(BENCH_DIR / "serve_smoke.py")])
         quick_json = REPO_ROOT / "BENCH_PERF.quick.json"
         rc |= _run([sys.executable, str(BENCH_DIR / "bench_perf_wallclock.py"),
                     "--quick", "--out", str(quick_json)])

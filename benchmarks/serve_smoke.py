@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Post-merge serving smoke (run_all.py --quick): a P=4 tensor-parallel
+serving run under open-loop Poisson traffic, checked for the subsystem's
+two hard invariants:
+
+* **determinism** — the report (request records, percentiles, goodput,
+  checksum, algorithm provenance) is bit-identical across the ``coop``
+  and ``threads`` runners and the fused/unfused collective paths;
+* **adaptive selection** — the size-adaptive allreduce selector matches
+  or beats both fixed algorithm choices on the mixed workload, and its
+  provenance shows both the latency-optimal (decode) and
+  bandwidth-optimal (prefill) schedules actually ran.
+
+Everything is simulated time; the whole smoke takes a few seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.comm.fused import LATENCY_OPTIMAL  # noqa: E402
+from repro.serve import ServeConfig, simulate_serving  # noqa: E402
+
+CFG = ServeConfig(p=4, rate=2000.0, n_requests=24, prompt_tokens=96,
+                  output_tokens=8, max_batch_size=8, seed=0)
+
+
+def main() -> int:
+    base = None
+    for runner in ("coop", "threads"):
+        for fused in (True, False):
+            rep = simulate_serving(CFG, runner=runner, fused=fused)
+            sig = (rep.requests, rep.summary(), rep.steps, rep.algorithms)
+            if base is None:
+                base = sig
+            elif sig != base:
+                print(f"FAIL: serving report diverged under "
+                      f"runner={runner} fused={fused}")
+                return 1
+    print(f"determinism: bit-identical across coop/threads x fused/unfused "
+          f"(checksum {base[1]['checksum']:.6f})")
+
+    makespans = {}
+    for alg in ("latency", "bandwidth", "adaptive"):
+        makespans[alg] = simulate_serving(
+            replace(CFG, algorithm=alg)).makespan
+    print("makespans: " + "  ".join(
+        f"{alg}={t * 1e3:.3f}ms" for alg, t in makespans.items()))
+    if makespans["adaptive"] > makespans["latency"] or \
+            makespans["adaptive"] > makespans["bandwidth"]:
+        print("FAIL: adaptive selector lost to a fixed algorithm choice")
+        return 1
+
+    rep = simulate_serving(CFG)
+    want = (f"allreduce/{LATENCY_OPTIMAL}/adaptive",
+            "allreduce/rabenseifner/adaptive")
+    missing = [k for k in want if k not in rep.algorithms]
+    if missing:
+        print(f"FAIL: expected adaptive schedules missing: {missing}")
+        return 1
+    print(rep.format_report())
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

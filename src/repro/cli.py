@@ -172,6 +172,52 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_token_spec(spec: str, what: str):
+    """``"64"`` -> 64, ``"32:128"`` -> (32, 128) inclusive."""
+    try:
+        if ":" in spec:
+            lo, _, hi = spec.partition(":")
+            return (int(lo), int(hi))
+        return int(spec)
+    except ValueError:
+        raise SystemExit(
+            f"bad {what} spec {spec!r}; expected N or LO:HI") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, Workload, simulate_serving, sweep_load
+
+    cfg = ServeConfig(
+        p=args.workers, rate=args.rate, n_requests=args.requests,
+        prompt_tokens=_parse_token_spec(args.prompt_tokens,
+                                        "--prompt-tokens"),
+        output_tokens=_parse_token_spec(args.output_tokens,
+                                        "--output-tokens"),
+        max_batch_size=args.max_batch, max_wait=args.max_wait,
+        hidden=args.hidden, layers=args.layers,
+        algorithm=args.algorithm, seed=args.seed)
+    workload = None
+    if args.trace:
+        workload = Workload.from_json(open(args.trace).read())
+    if args.sweep:
+        print(f"serve sweep: P={cfg.p} algorithm={cfg.algorithm} "
+              f"requests={cfg.n_requests}")
+        print(f"  {'offered req/s':>14s} {'goodput req/s':>14s} "
+              f"{'goodput tok/s':>14s} {'ttft p99 (ms)':>14s} "
+              f"{'itl p99 (ms)':>13s}")
+        for rep in sweep_load(cfg, args.sweep):
+            s = rep.summary()
+            print(f"  {s['offered_req_per_s']:14.1f} "
+                  f"{s['goodput_req_per_s']:14.1f} "
+                  f"{s['goodput_tokens_per_s']:14.1f} "
+                  f"{s['ttft_p99'] * 1e3:14.4f} "
+                  f"{s['itl_p99'] * 1e3:13.4f}")
+        return 0
+    rep = simulate_serving(cfg, workload=workload)
+    print(rep.format_report())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
         prog="repro-bench",
@@ -250,6 +296,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "workers, re-key the scheme state and data shards, "
                          "and resume training")
     tr.set_defaults(fn=_cmd_train)
+
+    sv = sub.add_parser(
+        "serve",
+        help="tensor-parallel inference serving under open-loop traffic")
+    sv.add_argument("--workers", type=int, default=4,
+                    help="tensor-parallel group size P")
+    sv.add_argument("--requests", type=int, default=32,
+                    help="open-loop requests to generate")
+    sv.add_argument("--rate", type=float, default=2000.0,
+                    help="offered load in requests per simulated second")
+    sv.add_argument("--prompt-tokens", default="64", metavar="N|LO:HI",
+                    help="prompt length (fixed, or uniform inclusive range)")
+    sv.add_argument("--output-tokens", default="4", metavar="N|LO:HI",
+                    help="tokens to generate per request")
+    sv.add_argument("--max-batch", type=int, default=8,
+                    help="dynamic batcher: max batch size")
+    sv.add_argument("--max-wait", type=float, default=5e-4,
+                    help="dynamic batcher: max wait in simulated seconds "
+                         "before a partial batch fires")
+    sv.add_argument("--hidden", type=int, default=256)
+    sv.add_argument("--layers", type=int, default=4)
+    sv.add_argument("--algorithm", default="adaptive",
+                    choices=["adaptive", "latency", "bandwidth", "auto",
+                             "recursive_doubling", "rabenseifner", "ring"],
+                    help="per-layer allreduce schedule: size-adaptive "
+                         "(default), a forced role, or a concrete algorithm")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--trace", default=None, metavar="PATH",
+                    help="JSON arrival trace (overrides the Poisson "
+                         "generator; see repro.serve.Workload.to_json)")
+    sv.add_argument("--sweep", type=float, nargs="+", default=None,
+                    metavar="RATE",
+                    help="goodput-vs-offered-load sweep over these rates "
+                         "(prints one table row per rate)")
+    sv.set_defaults(fn=_cmd_serve)
     return ap
 
 

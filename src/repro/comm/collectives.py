@@ -337,25 +337,62 @@ def allreduce_ring(comm: SimComm, arr: np.ndarray, op=np.add) -> np.ndarray:
 
 _DENSE_ALGOS: Dict[str, Callable[[SimComm, np.ndarray], np.ndarray]] = {}
 
+# Role aliases (see comm/fused.py "Algorithm roles"): the latency-optimal
+# schedule and the per-P bandwidth-optimal one.
+LATENCY_OPTIMAL = _fused.LATENCY_OPTIMAL
+bandwidth_optimal = _fused.bandwidth_optimal
+allreduce_crossover_words = _fused.allreduce_crossover_words
+select_allreduce_algorithm = _fused.select_allreduce_algorithm
+
 
 def allreduce(comm: SimComm, arr: np.ndarray, op=np.add,
-              algo: str = "auto") -> np.ndarray:
+              algo: str = "auto", *, algorithm: Optional[str] = None,
+              ) -> np.ndarray:
     """Dense allreduce dispatch.
 
-    ``auto`` picks Rabenseifner (the paper's Dense baseline) for powers of
-    two and the bandwidth-equivalent ring otherwise.
+    ``algorithm`` (``algo`` is the positional alias) selects the schedule:
+
+    * ``"auto"`` — the static P-based default (the paper's Dense baseline):
+      Rabenseifner for powers of two, ring otherwise.
+    * ``"adaptive"`` — size-adaptive: the latency-optimal schedule below
+      the network's alpha/beta crossover size, the bandwidth-optimal one
+      at/above it (:func:`repro.comm.fused.select_allreduce_algorithm`).
+    * ``"latency"`` / ``"bandwidth"`` — force the role regardless of size.
+    * a concrete name (``"recursive_doubling"``, ``"rabenseifner"``,
+      ``"ring"``) — force that exact schedule.
+
+    Every call records (collective, concrete algorithm, selection mode)
+    provenance in :attr:`Network.algorithm_log` so sweeps are auditable.
     """
+    if algorithm is not None:
+        algo = algorithm
+    p = comm.size
     if algo == "auto":
-        algo = "rabenseifner" if _is_pow2(comm.size) else "ring"
+        concrete, mode = (
+            "rabenseifner" if _is_pow2(p) else "ring"), "auto"
+    elif algo == "adaptive":
+        concrete = select_allreduce_algorithm(
+            p, payload_nwords(arr), comm.net.model)
+        mode = "adaptive"
+    elif algo == "latency":
+        concrete, mode = LATENCY_OPTIMAL, "forced"
+    elif algo == "bandwidth":
+        concrete, mode = bandwidth_optimal(p), "forced"
+    else:
+        concrete, mode = algo, "forced"
     table = {
         "rabenseifner": allreduce_rabenseifner,
         "ring": allreduce_ring,
         "recursive_doubling": allreduce_recursive_doubling,
     }
     try:
-        fn = table[algo]
+        fn = table[concrete]
     except KeyError:
-        raise ValueError(f"unknown dense allreduce algorithm {algo!r}") from None
+        raise ValueError(
+            f"unknown dense allreduce algorithm {algo!r}") from None
+    if comm.rank == 0:  # once per collective call, not once per rank
+        comm.net.note_algorithm("allreduce", concrete, mode,
+                                payload_nwords(arr))
     return fn(comm, arr, op)
 
 

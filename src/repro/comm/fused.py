@@ -582,6 +582,84 @@ def compile_scatter(p: int, root: int, sizes: Tuple[int, ...]) -> Schedule:
 
 
 # ---------------------------------------------------------------------------
+# Algorithm roles and size-adaptive selection
+# ---------------------------------------------------------------------------
+# The dense allreduce compilers above fall into two *roles* on the
+# alpha-beta cost model: recursive doubling is latency-optimal (log2 P
+# rounds, full vector each) and Rabenseifner/ring are bandwidth-optimal
+# (2 n (P-1)/P words at 2 log2 P / 2(P-1) latency terms).  Which role wins
+# is purely a function of the message size against the network's
+# alpha/beta ratio — the same small-vs-large regime flip SparCML
+# formalizes for sparse streams and that LLM serving stacks exercise per
+# token ([batch, seq, hidden] message sizes choosing the kernel).  The
+# helpers below give callers the explicit choice and the analytic
+# crossover; :func:`repro.comm.collectives.allreduce` dispatches on them.
+
+#: the latency-optimal dense allreduce: ``log2 P`` (+2 non-pow2 fold)
+#: rounds, each shipping the full vector
+LATENCY_OPTIMAL = "recursive_doubling"
+
+
+def bandwidth_optimal(p: int) -> str:
+    """The bandwidth-optimal dense allreduce at ``p`` ranks (the static
+    ``algo="auto"`` baseline): Rabenseifner for powers of two, the
+    bandwidth-equivalent ring otherwise (any P, no fold-in volume)."""
+    return "rabenseifner" if p > 0 and (p & (p - 1)) == 0 else "ring"
+
+
+def allreduce_alpha_beta_terms(p: int, algo: str) -> Tuple[float, float]:
+    """Alpha/beta multipliers ``(A, B)`` of a dense allreduce:
+    ``cost(n) ~= A * alpha + B * n * beta`` for ``n`` payload words.
+
+    Matches the compiled schedules above, including the non-power-of-two
+    fold-in/fold-out rounds (two extra full-vector hops for recursive
+    doubling and Rabenseifner; the ring needs none)."""
+    if p <= 1:
+        return 0.0, 0.0
+    m = 1 << (p.bit_length() - 1)
+    logm = p.bit_length() - 1
+    fold = 0.0 if m == p else 2.0  # fold-in + fold-out, full vector each
+    if algo == "recursive_doubling":
+        return logm + fold, logm + fold
+    if algo == "rabenseifner":
+        return 2.0 * logm + fold, 2.0 * (m - 1) / m + fold
+    if algo == "ring":
+        return 2.0 * (p - 1), 2.0 * (p - 1) / p
+    raise ValueError(f"unknown dense allreduce algorithm {algo!r}")
+
+
+def allreduce_analytic_seconds(p: int, nwords_: int, model,
+                               algo: str) -> float:
+    """Analytic alpha-beta cost of one dense allreduce of ``nwords_``
+    words (no gamma/occupancy terms — the selection-relevant part)."""
+    a, b = allreduce_alpha_beta_terms(p, algo)
+    return a * model.alpha + b * nwords_ * model.beta
+
+
+def allreduce_crossover_words(p: int, model) -> float:
+    """Message size (words) at which the bandwidth-optimal schedule
+    overtakes the latency-optimal one on ``model``'s alpha/beta
+    constants; ``inf`` when it never does (P <= 2, where recursive
+    doubling is also bandwidth-optimal, or ``beta == 0``)."""
+    a_l, b_l = allreduce_alpha_beta_terms(p, LATENCY_OPTIMAL)
+    a_b, b_b = allreduce_alpha_beta_terms(p, bandwidth_optimal(p))
+    d_beta = (b_l - b_b) * model.beta
+    if d_beta <= 0.0:
+        return float("inf")
+    return (a_b - a_l) * model.alpha / d_beta
+
+
+def select_allreduce_algorithm(p: int, nwords_: int, model) -> str:
+    """Size-adaptive algorithm choice: the latency-optimal schedule below
+    the alpha/beta crossover size, the bandwidth-optimal one at/above it
+    (the ``algorithm="adaptive"`` dispatch of
+    :func:`repro.comm.collectives.allreduce`)."""
+    if nwords_ < allreduce_crossover_words(p, model):
+        return LATENCY_OPTIMAL
+    return bandwidth_optimal(p)
+
+
+# ---------------------------------------------------------------------------
 # Central data computation (bit-identical association orders)
 # ---------------------------------------------------------------------------
 def _fold_stack(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:

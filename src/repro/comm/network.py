@@ -116,6 +116,11 @@ class Network:
         self.msgs_recv: List[int] = [0] * nranks
         self.trace_enabled = trace
         self.trace: List[TraceRecord] = []
+        #: collective-algorithm provenance (auditable sweeps): keyed by
+        #: ``(collective, concrete_algorithm, selection_mode)`` with
+        #: ``{"calls", "words"}`` totals; recorded once per collective call
+        #: (rank 0) by the dispatchers in :mod:`repro.comm.collectives`
+        self.algorithm_log: Dict[Tuple[str, str, str], Dict[str, int]] = {}
         self._abort_exc: Optional[BaseException] = None
         #: cooperative scheduler, attached by the engine for the duration of
         #: a run; ``None`` means threaded (locked) mode
@@ -739,6 +744,34 @@ class Network:
             self.msgs_sent[:] = [0] * n
             self.msgs_recv[:] = [0] * n
             self.trace.clear()
+            self.algorithm_log.clear()
+
+    def note_algorithm(self, collective: str, algorithm: str, mode: str,
+                       nwords_: int) -> None:
+        """Record one collective call's (algorithm, selection-mode)
+        provenance; callers invoke this from exactly one rank per call."""
+        key = (collective, algorithm, mode)
+        if self._sched is not None:  # single-threaded: lock-free
+            entry = self.algorithm_log.get(key)
+            if entry is None:
+                self.algorithm_log[key] = {"calls": 1, "words": nwords_}
+            else:
+                entry["calls"] += 1
+                entry["words"] += nwords_
+            return
+        with self._lock:
+            entry = self.algorithm_log.get(key)
+            if entry is None:
+                self.algorithm_log[key] = {"calls": 1, "words": nwords_}
+            else:
+                entry["calls"] += 1
+                entry["words"] += nwords_
+
+    def algorithm_provenance(self) -> Dict[str, Dict[str, int]]:
+        """JSON-able snapshot of :attr:`algorithm_log`:
+        ``"collective/algorithm/mode" -> {"calls", "words"}``."""
+        return {"/".join(key): dict(val)
+                for key, val in sorted(self.algorithm_log.items())}
 
     @property
     def makespan(self) -> float:

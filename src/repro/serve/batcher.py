@@ -1,0 +1,96 @@
+"""Dynamic batching admission for the serving loop.
+
+The batcher implements the standard two-knob admission policy:
+
+* **max_batch_size** — a batch fires as soon as that many requests are
+  pending (and slots are free),
+* **max_wait** — a partial batch fires once the *oldest* pending request
+  has waited that long (the tail-latency guard).
+
+Continuous batching: while the engine is already decoding, newly arrived
+requests piggyback onto the running batch at the next step boundary
+(up to the free slots) without waiting for either trigger.
+
+Determinism contract: every rank of the tensor-parallel group runs one
+batcher instance over the *same* workload and feeds it the *same*
+decision times (the serving loop synchronizes its decision clock as data
+through an allgather), so all instances make bit-identical decisions —
+admission never consults a rank-local clock.  Because the stream is open
+loop, the next admission time is a closed-form function of the pending
+arrivals (:meth:`next_decision`), which is what lets an idle server jump
+the simulated clock forward deterministically instead of polling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import ConfigError
+from .workload import Request, Workload
+
+
+class DynamicBatcher:
+    """Max-batch-size + max-wait-time admission over an open-loop stream."""
+
+    def __init__(self, workload: Workload, max_batch_size: int,
+                 max_wait: float):
+        if max_batch_size < 1:
+            raise ConfigError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ConfigError(f"max_wait must be >= 0, got {max_wait}")
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self._queue: Deque[Request] = deque(workload.requests)
+
+    @property
+    def pending(self) -> int:
+        """Requests not yet admitted (arrived or future)."""
+        return len(self._queue)
+
+    def _arrived(self, now: float) -> int:
+        n = 0
+        for rq in self._queue:
+            if rq.arrival > now:
+                break
+            n += 1
+        return n
+
+    def admit(self, now: float, free_slots: int,
+              engine_active: bool) -> List[Request]:
+        """Admit requests at decision time ``now``; returns the admitted
+        batch (possibly empty).
+
+        While the engine is active, arrived requests fill free slots
+        immediately (continuous batching).  While it is idle, a batch
+        fires only when full (``max_batch_size`` arrivals pending) or when
+        the oldest pending request has waited ``max_wait``.
+        """
+        arrived = self._arrived(now)
+        if arrived == 0 or free_slots <= 0:
+            return []
+        if not engine_active:
+            full = arrived >= self.max_batch_size
+            timed_out = now >= self._queue[0].arrival + self.max_wait
+            if not (full or timed_out):
+                return []
+        take = min(arrived, free_slots, self.max_batch_size)
+        return [self._queue.popleft() for _ in range(take)]
+
+    def next_decision(self, now: float) -> Optional[float]:
+        """Earliest simulated time at which an *idle* server's admission
+        could fire: the arrival that completes a full batch, or the oldest
+        pending request's max-wait deadline.  ``None`` once the stream is
+        drained.  Pure function of the pending arrivals, so every rank
+        computes the same jump target."""
+        if not self._queue:
+            return None
+        head = self._queue[0].arrival
+        t_fire = head + self.max_wait
+        if len(self._queue) >= self.max_batch_size:
+            t_full = self._queue[self.max_batch_size - 1].arrival
+            if t_full < t_fire:
+                t_fire = t_full
+        # Never before anything is pending (and never behind the clock).
+        return max(t_fire, head, now)

@@ -1,0 +1,190 @@
+"""The serving engine: open-loop arrivals -> dynamic batches -> TP steps.
+
+One SPMD program runs on every rank of the tensor-parallel group.  Each
+engine step is one of:
+
+* **prefill** — admit a batch and push its summed prompt tokens through
+  the model (one large, bandwidth-bound allreduce per layer), emitting
+  every admitted request's first token;
+* **decode** — push one token per active request (one small,
+  latency-bound allreduce per layer);
+* **idle jump** — no work pending: jump the simulated clock to the next
+  admission time (a closed form over the open-loop arrivals).
+
+Determinism contract
+--------------------
+
+The repo's core invariant — a run is a pure function of ``(seed,
+config)``, bit-identical across the ``coop`` and ``threads`` runners —
+has one serving-specific hazard: after a dense allreduce at
+non-power-of-two P, the per-rank simulated clocks legitimately *diverge*
+(the fold-in/out ranks sit on different dependency chains), so admission
+decisions keyed on a rank-local clock would differ across ranks and
+deadlock the collectives.  The loop therefore synchronizes a **decision
+clock as data** at every step boundary: an ``allgather`` of the per-rank
+clocks whose max is the step's decision time on every rank.  All
+admissions, token stamps and metrics use that shared value, so the
+records are bit-identical on every rank (asserted by the driver) and
+across runners; residual per-rank clock skew stays in the network, where
+it belongs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..comm import collectives as coll
+from ..comm.communicator import SimComm
+from ..comm.launcher import run_spmd
+from ..comm.model import NetworkModel
+from ..errors import ConfigError
+from .batcher import DynamicBatcher
+from .metrics import RequestRecord, ServeReport
+from .model import TPDecodeModel, TPModelConfig
+from .workload import TokenSpec, Workload
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a serving run is a function of (besides the network)."""
+
+    p: int = 4
+    # --- workload (ignored when an explicit trace Workload is passed) ---
+    rate: float = 2000.0          # offered load, requests per simulated s
+    n_requests: int = 32
+    prompt_tokens: TokenSpec = 64
+    output_tokens: TokenSpec = 4
+    # --- batcher ---
+    max_batch_size: int = 8
+    max_wait: float = 5e-4        # simulated seconds
+    # --- model ---
+    hidden: int = 256
+    layers: int = 4
+    ffn_mult: int = 4
+    # --- collectives ---
+    #: "adaptive" | "latency" | "bandwidth" | "auto" | concrete name
+    algorithm: str = "adaptive"
+    seed: int = 0
+
+    @property
+    def model_config(self) -> TPModelConfig:
+        return TPModelConfig(hidden=self.hidden, layers=self.layers,
+                             ffn_mult=self.ffn_mult)
+
+    def workload(self) -> Workload:
+        return Workload.poisson(
+            self.n_requests, self.rate, prompt_tokens=self.prompt_tokens,
+            output_tokens=self.output_tokens, seed=self.seed)
+
+
+def _sync_decision_time(comm: SimComm) -> float:
+    """Synchronize the step's decision clock as *data*: every rank posts
+    its clock, everyone takes the max, and local clocks advance to it.
+    The gathered set is identical on all ranks, so the max is too."""
+    clocks = coll.allgather_object(comm, comm.clock)
+    t = max(clocks)
+    comm._advance_clock(t)
+    return t
+
+
+def _rank_serve(comm: SimComm, cfg: ServeConfig, workload: Workload) -> Dict:
+    model = TPDecodeModel(cfg.model_config, comm,
+                          algorithm=cfg.algorithm, seed=cfg.seed)
+    batcher = DynamicBatcher(workload, cfg.max_batch_size, cfg.max_wait)
+    admitted_at: Dict[int, float] = {}
+    token_times: Dict[int, List[float]] = {}
+    active: List[List] = []  # [request, tokens_emitted]
+    prefill_batches = 0
+    decode_steps = 0
+
+    with comm.phase("serve"):
+        t = _sync_decision_time(comm)
+        while True:
+            batch = batcher.admit(t, cfg.max_batch_size - len(active),
+                                  bool(active))
+            if batch:
+                for rq in batch:
+                    admitted_at[rq.rid] = t
+                model.step(sum(rq.prompt_tokens for rq in batch))
+                prefill_batches += 1
+                t = _sync_decision_time(comm)
+                for rq in batch:
+                    token_times[rq.rid] = [t]
+                    if rq.output_tokens > 1:
+                        active.append([rq, 1])
+                continue
+            if active:
+                model.step(len(active))
+                decode_steps += 1
+                t = _sync_decision_time(comm)
+                still: List[List] = []
+                for rq, emitted in active:
+                    emitted += 1
+                    token_times[rq.rid].append(t)
+                    if emitted < rq.output_tokens:
+                        still.append([rq, emitted])
+                active = still
+                continue
+            t_next = batcher.next_decision(t)
+            if t_next is None:
+                break
+            comm._advance_clock(t_next)
+            t = _sync_decision_time(comm)
+
+    records = [
+        RequestRecord(rq.rid, rq.arrival, rq.prompt_tokens,
+                      rq.output_tokens, admitted_at[rq.rid],
+                      tuple(token_times[rq.rid]))
+        for rq in workload.requests]
+    return {
+        "records": records,
+        "checksum": model.checksum,
+        "steps": {"prefill_batches": prefill_batches,
+                  "decode_steps": decode_steps},
+    }
+
+
+def simulate_serving(cfg: ServeConfig, *,
+                     workload: Optional[Workload] = None,
+                     network: Optional[NetworkModel] = None,
+                     runner: Optional[str] = None,
+                     fused: Optional[bool] = None) -> ServeReport:
+    """Run one serving simulation; a pure function of ``(cfg, workload,
+    network)`` — bit-identical across runners and fused/unfused paths."""
+    if cfg.p < 1:
+        raise ConfigError(f"p must be >= 1, got {cfg.p}")
+    wl = workload if workload is not None else cfg.workload()
+    if len(wl) == 0:
+        raise ConfigError("serving needs a non-empty workload")
+    res = run_spmd(cfg.p, _rank_serve, cfg, wl, model=network,
+                   runner=runner, fused=fused)
+    first = res[0]
+    for r in range(1, cfg.p):  # the loop's own cross-rank contract
+        if res[r]["records"] != first["records"]:
+            raise AssertionError(
+                f"rank {r} serving records diverged from rank 0")
+    return ServeReport(
+        p=cfg.p,
+        algorithm=cfg.algorithm,
+        requests=first["records"],
+        makespan=res.makespan,
+        checksum=first["checksum"],
+        algorithms=res.network.algorithm_provenance(),
+        steps=first["steps"],
+        config={"rate": cfg.rate, "n_requests": cfg.n_requests,
+                "max_batch_size": cfg.max_batch_size,
+                "max_wait": cfg.max_wait, "hidden": cfg.hidden,
+                "layers": cfg.layers, "seed": cfg.seed},
+    )
+
+
+def sweep_load(cfg: ServeConfig, rates: Sequence[float], *,
+               network: Optional[NetworkModel] = None,
+               runner: Optional[str] = None,
+               fused: Optional[bool] = None) -> List[ServeReport]:
+    """Goodput-vs-offered-load sweep: one serving run per rate (same seed
+    and shapes, fresh network each — runs are independent)."""
+    return [simulate_serving(replace(cfg, rate=float(rate)),
+                             network=network, runner=runner, fused=fused)
+            for rate in rates]

@@ -1,0 +1,163 @@
+"""Serving metrics: per-request records and the aggregated report.
+
+All times are simulated seconds.  The report is built from rank 0's
+request records (which are bit-identical on every rank — the serving loop
+stamps them with the synchronized decision clock), so two reports from
+the same ``(seed, config)`` compare equal field-for-field across the
+``coop`` and ``threads`` runners and the fused/unfused paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Deterministic linear-interpolation percentile (``q`` in [0, 100])
+    over float64; NaN for an empty sample set."""
+    xs = np.sort(np.asarray(list(samples), dtype=np.float64))
+    if xs.size == 0:
+        return float("nan")
+    pos = (q / 100.0) * (xs.size - 1)
+    lo = int(np.floor(pos))
+    hi = int(np.ceil(pos))
+    frac = pos - lo
+    return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle stamps of one completed request."""
+
+    rid: int
+    arrival: float
+    prompt_tokens: int
+    output_tokens: int
+    #: admission into a prefill batch
+    admitted: float
+    #: token emission times; ``token_times[0]`` is the first token (end of
+    #: the prefill pass), one more per decode step
+    token_times: Tuple[float, ...]
+
+    @property
+    def first_token(self) -> float:
+        return self.token_times[0]
+
+    @property
+    def completion(self) -> float:
+        return self.token_times[-1]
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (arrival -> first token out)."""
+        return self.first_token - self.arrival
+
+    @property
+    def latency(self) -> float:
+        """End-to-end request latency (arrival -> last token)."""
+        return self.completion - self.arrival
+
+    @property
+    def itl_samples(self) -> Tuple[float, ...]:
+        """Inter-token latencies (gaps between consecutive emissions)."""
+        ts = self.token_times
+        return tuple(ts[i + 1] - ts[i] for i in range(len(ts) - 1))
+
+
+@dataclass
+class ServeReport:
+    """Aggregated outcome of one serving run."""
+
+    p: int
+    algorithm: str
+    requests: List[RequestRecord]
+    #: latest simulated clock across ranks at drain
+    makespan: float
+    #: float64 activation checksum (bit-identity witness)
+    checksum: float
+    #: collective-algorithm provenance snapshot
+    #: (``"collective/algorithm/mode" -> {"calls", "words"}``)
+    algorithms: Dict[str, Dict[str, int]]
+    #: engine step counts: ``{"prefill_batches", "decode_steps"}``
+    steps: Dict[str, int] = field(default_factory=dict)
+    config: Dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def generated_tokens(self) -> int:
+        return sum(r.output_tokens for r in self.requests)
+
+    @property
+    def offered_req_per_s(self) -> float:
+        """Offered load: requests over the arrival span."""
+        span = max(r.arrival for r in self.requests)
+        return len(self.requests) / span if span > 0 else float("inf")
+
+    @property
+    def goodput_req_per_s(self) -> float:
+        """Completed requests per simulated second of total runtime."""
+        return len(self.requests) / self.makespan
+
+    @property
+    def goodput_tokens_per_s(self) -> float:
+        return self.generated_tokens / self.makespan
+
+    @property
+    def itl_samples(self) -> List[float]:
+        out: List[float] = []
+        for r in self.requests:
+            out.extend(r.itl_samples)
+        return out
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar metric dict — the comparison unit for determinism tests
+        and the benchmark JSON."""
+        ttft = [r.ttft for r in self.requests]
+        lat = [r.latency for r in self.requests]
+        itl = self.itl_samples
+        return {
+            "requests": float(len(self.requests)),
+            "generated_tokens": float(self.generated_tokens),
+            "offered_req_per_s": self.offered_req_per_s,
+            "goodput_req_per_s": self.goodput_req_per_s,
+            "goodput_tokens_per_s": self.goodput_tokens_per_s,
+            "ttft_p50": percentile(ttft, 50.0),
+            "ttft_p99": percentile(ttft, 99.0),
+            "itl_p50": percentile(itl, 50.0),
+            "itl_p99": percentile(itl, 99.0),
+            "latency_p50": percentile(lat, 50.0),
+            "latency_p99": percentile(lat, 99.0),
+            "makespan": self.makespan,
+            "checksum": self.checksum,
+        }
+
+    def format_report(self) -> str:
+        """Human-readable multi-line report for the CLI."""
+        s = self.summary()
+        ms = 1e3
+        lines = [
+            f"serve: P={self.p} algorithm={self.algorithm} "
+            f"requests={len(self.requests)} "
+            f"tokens={self.generated_tokens}",
+            f"  offered load    : {s['offered_req_per_s']:10.1f} req/s",
+            f"  goodput         : {s['goodput_req_per_s']:10.1f} req/s  "
+            f"({s['goodput_tokens_per_s']:.0f} tok/s)",
+            f"  TTFT            : p50 {s['ttft_p50'] * ms:8.3f} ms   "
+            f"p99 {s['ttft_p99'] * ms:8.3f} ms",
+            f"  inter-token     : p50 {s['itl_p50'] * ms:8.3f} ms   "
+            f"p99 {s['itl_p99'] * ms:8.3f} ms",
+            f"  request latency : p50 {s['latency_p50'] * ms:8.3f} ms   "
+            f"p99 {s['latency_p99'] * ms:8.3f} ms",
+            f"  makespan        : {self.makespan * ms:.3f} ms simulated  "
+            f"(prefill batches {self.steps.get('prefill_batches', 0)}, "
+            f"decode steps {self.steps.get('decode_steps', 0)})",
+        ]
+        for key, info in self.algorithms.items():
+            lines.append(f"  collective      : {key}  x{info['calls']}  "
+                         f"({info['words']} words)")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Tensor-parallel decode model over the simulated network.
+
+Megatron-style tensor parallelism: each of the P ranks holds a 1/P shard
+of every layer's weights, computes a *partial* activation for its shard,
+and the partial sums are combined with **one allreduce of the
+[tokens, hidden] activations per layer** — the per-token reduction that
+dominates TP inference.  Prefill pushes all prompt tokens of the admitted
+batch through at once (large message, bandwidth-bound); each decode step
+pushes one token per active request (small message, latency-bound) —
+exactly the size regimes the adaptive allreduce selector
+(:func:`repro.comm.fused.select_allreduce_algorithm`) targets.
+
+The arithmetic is a surrogate (a per-(layer, rank) gain plus a bounded
+nonlinearity, carried across steps), but it is *real data moving through
+the real collectives*: the reduced values chain into the next layer and
+into a float64 checksum, so bit-identity across runners and fused/unfused
+paths is a meaningful end-to-end assertion, not a clock comparison.
+Compute is charged analytically as this rank's 1/P shard of the dense
+transformer FLOPs (attention projections + MLP; attention scores are
+sequence-length dependent and deliberately excluded — the reduction
+traffic, not the FLOP model, is the object of study here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm import collectives as coll
+from ..comm.communicator import SimComm
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TPModelConfig:
+    """Shape of the simulated decoder."""
+
+    hidden: int = 256
+    layers: int = 4
+    #: MLP expansion factor (2 matmuls of ``hidden x hidden*ffn_mult``)
+    ffn_mult: int = 4
+
+    def __post_init__(self):
+        if self.hidden < 1 or self.layers < 1 or self.ffn_mult < 1:
+            raise ConfigError(f"invalid TPModelConfig {self}")
+
+    @property
+    def flops_per_token_layer(self) -> float:
+        """Dense FLOPs of one token through one layer (all ranks
+        combined): 4 projection matmuls (q/k/v/o, ``2 h^2`` each) plus the
+        two MLP matmuls (``2 h * ffn`` each)."""
+        h = float(self.hidden)
+        return 8.0 * h * h + 4.0 * h * h * self.ffn_mult
+
+    @property
+    def words_per_token_layer(self) -> int:
+        """Allreduce payload words one activation row contributes per
+        layer (float32 activations: one word per hidden element)."""
+        return self.hidden
+
+
+class TPDecodeModel:
+    """Rank-local shard of the tensor-parallel decoder."""
+
+    def __init__(self, cfg: TPModelConfig, comm: SimComm, *,
+                 algorithm: str = "adaptive", seed: int = 0):
+        self.cfg = cfg
+        self.comm = comm
+        self.algorithm = algorithm
+        rng = np.random.default_rng(seed)
+        # Every rank draws the identical tables (same seed) and uses its
+        # own column — the usual replicated-init trick, no weight bcast.
+        self._gain = (rng.standard_normal((cfg.layers, comm.size))
+                      .astype(np.float32) / np.float32(comm.size))
+        self._base = rng.standard_normal(cfg.hidden).astype(np.float32)
+        self._carry = np.float32(1.0)
+        #: float64 sum over every activation this model emitted — the
+        #: bit-identity witness across runners and fused/unfused paths
+        self.checksum = 0.0
+
+    def step(self, tokens: int) -> None:
+        """Run ``tokens`` activation rows through every layer.
+
+        One call serves both phases: prefill passes the admitted batch's
+        summed prompt length, a decode step passes the active batch size
+        (one new token per request).  Per layer: charge this rank's 1/P
+        FLOP shard, then allreduce the ``tokens * hidden`` partial sums
+        with the configured algorithm choice.
+        """
+        if tokens < 1:
+            raise ConfigError(f"step needs >= 1 token, got {tokens}")
+        comm, cfg = self.comm, self.cfg
+        acts = np.tile(self._base, tokens) * self._carry
+        flops_shard = cfg.flops_per_token_layer * tokens / comm.size
+        for layer in range(cfg.layers):
+            comm.compute_flops(flops_shard)
+            partial = acts * self._gain[layer, comm.rank]
+            reduced = coll.allreduce(comm, partial,
+                                     algorithm=self.algorithm)
+            acts = np.tanh(reduced)
+        # Chain steps: the next step's input scale depends on this step's
+        # reduced output, so any cross-runner divergence compounds.
+        self._carry = np.float32(1.0) + np.float32(0.5) * np.tanh(acts.mean())
+        self.checksum += float(np.asarray(acts, dtype=np.float64).sum())

@@ -39,6 +39,54 @@ class TestCli:
         out = capsys.readouterr().out
         assert "final loss" in out and "breakdown" in out
 
+    def test_serve(self, capsys):
+        assert main(["serve", "--workers", "4", "--requests", "8",
+                     "--rate", "1500", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out and "TTFT" in out and "p99" in out
+        assert "allreduce/" in out  # algorithm provenance line
+
+    def test_serve_arg_parsing(self):
+        ap = build_parser()
+        args = ap.parse_args(["serve", "--workers", "2", "--requests", "5",
+                              "--prompt-tokens", "16:32",
+                              "--algorithm", "bandwidth",
+                              "--max-wait", "1e-4"])
+        assert args.workers == 2 and args.requests == 5
+        assert args.prompt_tokens == "16:32"
+        assert args.algorithm == "bandwidth" and args.max_wait == 1e-4
+
+    def test_serve_bad_token_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--requests", "4", "--prompt-tokens", "x:y"])
+
+    def test_serve_is_seeded(self, capsys):
+        argv = ["serve", "--workers", "2", "--requests", "6", "--seed", "7"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_serve_sweep(self, capsys):
+        assert main(["serve", "--workers", "2", "--requests", "6",
+                     "--sweep", "500", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "offered req/s" in out
+        # one row per swept rate
+        assert len([ln for ln in out.splitlines()
+                    if ln.strip() and ln.lstrip()[0].isdigit()]) == 2
+
+    def test_serve_trace(self, capsys, tmp_path):
+        from repro.serve import Workload
+
+        wl = Workload.poisson(5, 1000.0, seed=3)
+        trace = tmp_path / "trace.json"
+        trace.write_text(wl.to_json())
+        assert main(["serve", "--workers", "2",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "requests=5" in out
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
@@ -46,5 +94,6 @@ class TestCli:
     def test_parser_help_lists_subcommands(self):
         ap = build_parser()
         help_text = ap.format_help()
-        for cmd in ("volume", "table1", "table2", "scaling", "train"):
+        for cmd in ("volume", "table1", "table2", "scaling", "train",
+                    "serve"):
             assert cmd in help_text
