@@ -6,7 +6,6 @@ full configuration, on the clustered workload where they matter.
 """
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

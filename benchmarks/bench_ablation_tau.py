@@ -8,7 +8,6 @@ iteration; large tau' lets the threshold drift off k.
 """
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

@@ -7,7 +7,6 @@ algorithms on the simulated Aries vs commodity fabrics.
 """
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

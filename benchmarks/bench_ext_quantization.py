@@ -6,7 +6,6 @@ volume, simulated iteration time, and the training-quality cost on the
 noisy quadratic."""
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

@@ -1,7 +1,5 @@
 """Figure 10: weak scaling of LSTM on AN4, density 2% (paper P=32, 64)."""
 
-import pytest
-
 from repro.allreduce import PAPER_ORDER
 from repro.bench import format_table, lstm_proxy, paper_scale_breakdown, \
     train_scheme

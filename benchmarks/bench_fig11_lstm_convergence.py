@@ -4,9 +4,6 @@ Shape to reproduce: Ok-Topk reaches a dense-level WER (lower is better)
 with the fastest time-to-solution; sparse schemes can even edge out dense
 WER thanks to sparsification noise (observed by the paper on 64 GPUs)."""
 
-import numpy as np
-import pytest
-
 from repro.bench import format_table, lstm_proxy, train_scheme
 from repro.bench.harness import proxy_network
 

@@ -3,8 +3,6 @@ GPUs — the paper's headline result (3.29x-12.95x over all baselines on
 256 GPUs, 76.3% parallel efficiency from 32 to 256).
 """
 
-import pytest
-
 from repro.allreduce import PAPER_ORDER
 from repro.bench import bert_proxy, format_table, paper_scale_breakdown, \
     train_scheme

@@ -6,7 +6,6 @@ the mini-BERT proxy.  Shape to reproduce: Ok-Topk's loss curve tracks
 DenseOvlp's closely while finishing in much less (simulated) time."""
 
 import numpy as np
-import pytest
 
 from repro.bench import bert_proxy, format_table, train_scheme
 from repro.bench.harness import proxy_network

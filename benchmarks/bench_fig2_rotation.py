@@ -6,7 +6,6 @@ sweep — the two communication-schedule optimizations of Section 3.1.1.
 """
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

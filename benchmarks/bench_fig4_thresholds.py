@@ -17,7 +17,6 @@ Two parts:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import bert_proxy, format_table, lstm_proxy, vgg_proxy
 from repro.bench.instrumented import threshold_snapshot

@@ -8,7 +8,6 @@ iterations.  The paper's observations to reproduce:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import bert_proxy, format_table, lstm_proxy, train_scheme, \
     vgg_proxy

@@ -10,7 +10,6 @@ Reproduces two findings:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import format_table, lstm_proxy, vgg_proxy
 from repro.bench.instrumented import output_density_stats, selection_curves

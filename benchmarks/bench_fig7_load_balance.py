@@ -10,7 +10,6 @@ Both effects grow with P, matching the paper's 1.13x-1.75x / 1.12x-1.43x.
 """
 
 import numpy as np
-import pytest
 
 from repro.allreduce import make_allreduce
 from repro.bench import format_table

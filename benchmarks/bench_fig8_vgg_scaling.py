@@ -9,8 +9,6 @@ Two tiers (DESIGN.md section 4):
   paper's P = 16 and 32, printed as the same bar rows.
 """
 
-import pytest
-
 from repro.allreduce import PAPER_ORDER
 from repro.bench import format_table, paper_scale_breakdown, train_scheme, \
     vgg_proxy

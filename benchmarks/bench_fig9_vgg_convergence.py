@@ -5,9 +5,6 @@ Runs the executed proxy to convergence-ish with four schemes and prints
 threshold).  Shape to reproduce: Ok-Topk reaches dense-level accuracy at
 the fastest time-to-solution."""
 
-import numpy as np
-import pytest
-
 from repro.bench import format_table, train_scheme, vgg_proxy
 from repro.bench.harness import proxy_network
 

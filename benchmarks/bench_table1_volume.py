@@ -9,12 +9,9 @@ Regenerates the paper's cost table three ways:
 and checks Theorem 3.1's optimality interval for Ok-Topk.
 """
 
-import numpy as np
-import pytest
-
 from repro.allreduce import PAPER_ORDER
 from repro.bench import format_table
-from repro.costmodel import comm_cost, validate_against_measurement
+from repro.costmodel import validate_against_measurement
 
 N, P, K = 4096, 8, 64
 

@@ -1,7 +1,6 @@
 """Table 2: the evaluation models and their parameter counts."""
 
 import numpy as np
-import pytest
 
 from repro.bench import format_table
 from repro.nn.models import (

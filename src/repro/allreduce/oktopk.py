@@ -90,6 +90,7 @@ from ..sparse import (
     threshold_select,
 )
 from ..sparse.coo import INDEX_DTYPE, VALUE_DTYPE
+from ..sparse.topk import batched_kth_largest_abs, batched_threshold_select
 from .base import PHASE_COMM, PHASE_SPARSIFY, AllreduceResult, GradientAllreduce
 from .schedule import buckets, make_steps
 from .session import BucketView
@@ -124,9 +125,20 @@ def _exec_split_reduce(net, sig, payloads):
     clocks = net.clocks
     eg = net.egress_free
     ing = net.ingress_free
-    nw = [[piece.comm_nwords() for piece in pieces] for pieces in payloads]
-    rank_buckets = [list(_buckets(make_steps(r, p, rotation), bucket_size))
-                    for r in range(p)]
+    # inlined comm_nwords (2k wire words): the property chain costs real
+    # time at 256 calls per dispatch
+    nw = [[2 * piece.indices.size for piece in pieces]
+          for pieces in payloads]
+    # The rotation/bucket schedule depends only on (p, rotation,
+    # bucket_size) — cache it on the network across iterations.
+    key = (p, rotation, bucket_size)
+    cached = getattr(net, "_sr_sched_cache", None)
+    if cached is not None and cached[0] == key:
+        rank_buckets = cached[1]
+    else:
+        rank_buckets = [list(_buckets(make_steps(r, p, rotation),
+                                      bucket_size)) for r in range(p)]
+        net._sr_sched_cache = (key, rank_buckets)
     nbuckets = len(rank_buckets[0])
     prev_words = [0] * p
     pending: List[List] = [[] for _ in range(p)]
@@ -186,15 +198,117 @@ def _exec_split_reduce(net, sig, payloads):
             arrived = [payloads[src][r] for step in rank_buckets[r][bb]
                        for src in step.recv_from]
             pending[r].extend(arrived)
-            prev_words[r] = sum(v.nnz for v in arrived)
-    out = []
+            prev_words[r] = sum(v.indices.size for v in arrived)
+    # -- final reductions: one global sort instead of p combine_sum ------
+    # Region index ranges are disjoint per owner, so biasing each owner's
+    # indices by ``r * n`` and running ONE stable argsort + reduceat over
+    # the world reproduces every per-rank ``combine_sum`` fold exactly:
+    # within an owner the stable sort keeps pieces in request order (the
+    # order combine_sum concatenates), reduceat accumulates the identical
+    # float64 partial sums, and the single float32 cast matches.
+    out: List[Optional[COOVector]] = [None] * p
+    cat_keys: List[np.ndarray] = []
+    cat_vals: List[np.ndarray] = []
+    multi: List[int] = []
     for r in range(p):
         if prev_words[r]:
             clocks[r] += gamma * (2 * prev_words[r])
-        reduced = payloads[r][r]
-        if pending[r]:
-            reduced = combine_sum([reduced, *pending[r]])
-        out.append(reduced)
+        own = payloads[r][r]
+        if not pending[r]:
+            out[r] = own
+            continue
+        live = [v for v in (own, *pending[r]) if v.nnz]
+        if not live:
+            out[r] = COOVector.empty(own.n)
+        elif len(live) == 1:
+            out[r] = live[0]
+        else:
+            keys = np.concatenate([v.indices for v in live]).astype(np.int64)
+            keys += r * own.n
+            cat_keys.append(keys)
+            cat_vals.append(np.concatenate([v.values for v in live]))
+            multi.append(r)
+    if multi:
+        n = payloads[0][0].n
+        all_key = np.concatenate(cat_keys)
+        all_val = np.concatenate(cat_vals)
+        order = np.argsort(all_key, kind="stable")
+        key_sorted = all_key[order]
+        val_sorted = all_val[order]
+        boundary = np.empty(key_sorted.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        sums = np.add.reduceat(val_sorted, starts,
+                               dtype=np.float64).astype(VALUE_DTYPE)
+        group_keys = key_sorted[starts]
+        cuts = np.searchsorted(group_keys,
+                               np.asarray(multi, dtype=np.int64) * n)
+        ends = np.append(cuts[1:], group_keys.size)
+        for r, lo, hi in zip(multi, cuts, ends):
+            idx = (group_keys[lo:hi] - r * n).astype(INDEX_DTYPE)
+            out[r] = COOVector(n, idx, sums[lo:hi])
+    return out
+
+
+def _exec_select_local(net, sig, payloads):
+    """Rank-batched executor for :meth:`OkTopkAllreduce._select_local`.
+
+    ``payloads[r]`` is ``(comm, allreduce, acc)`` for rank ``r``.  The
+    periodic threshold re-evaluation becomes one row-wise
+    ``np.partition`` and the per-iteration selection one stacked
+    threshold scan; compute charges (`compute_sort`/`compute_scan`) run
+    through each rank's own communicator inside its open phase context,
+    so clocks and phase attribution match the serial path exactly.
+    Data-dependent divergence — the degenerate all-zero path and the
+    selection-guard re-evaluation — is handled per rank with the scalar
+    primitives (it is pure local compute, no lockstep needed).
+    """
+    from ..train.rankbatch import stack_rows
+    _, t, k = sig
+    xs = stack_rows([p[2] for p in payloads])
+    nranks, n = xs.shape
+    entries = [(p[0], p[1], p[1]._state) for p in payloads]
+    due = [st.local_th is None or ar._due(t, ar.tau_prime)
+           for (_, ar, st) in entries]
+    if all(due):
+        ths = batched_kth_largest_abs(xs, k)
+        for r, (comm, _, st) in enumerate(entries):
+            st.local_th = float(ths[r])
+            st.local_evaluations += 1
+            comm.compute_sort(n)
+    else:
+        for r, (comm, _, st) in enumerate(entries):
+            if due[r]:
+                st.local_th = kth_largest_abs(xs[r], k)
+                st.local_evaluations += 1
+                comm.compute_sort(n)
+    for comm, _, _ in entries:
+        comm.compute_scan(n)
+    ths_now = [st.local_th for (_, _, st) in entries]
+    if all(th > 0.0 for th in ths_now):
+        selected = batched_threshold_select(xs, ths_now)
+    else:
+        selected = [threshold_select(xs[r], ths_now[r])
+                    if ths_now[r] > 0.0 else None
+                    for r in range(nranks)]
+    out: List[COOVector] = []
+    for r, (comm, ar, st) in enumerate(entries):
+        if ths_now[r] <= 0.0:
+            # Degenerate (all-zero accumulator or k >= n): exact
+            # selection, no guard — same as the serial early return.
+            out.append(exact_topk(xs[r], k))
+            continue
+        local = selected[r]
+        g = ar.selection_guard
+        if local.nnz > g * k or local.nnz * g < k:
+            st.local_th = kth_largest_abs(xs[r], k)
+            st.local_evaluations += 1
+            comm.compute_sort(n)
+            comm.compute_scan(n)
+            local = (threshold_select(xs[r], st.local_th)
+                     if st.local_th > 0 else exact_topk(xs[r], k))
+        out.append(local)
     return out
 
 
@@ -362,6 +476,21 @@ class OkTopkAllreduce(GradientAllreduce):
     # ------------------------------------------------------------------
     def _select_local(self, comm: SimComm, acc: np.ndarray,
                       k: int, t: int) -> COOVector:
+        """Threshold selection; under lockstep rank-batching (a
+        :class:`repro.train.rankbatch.RankBatch` published on the
+        communicator) the whole world's selection runs as one stacked
+        dispatch — one ``np.partition`` / one threshold scan over the
+        ``(P, n)`` accumulator matrix — bit-identical per rank to the
+        serial path."""
+        rb = getattr(comm, "rank_batch", None)
+        if rb is not None and rb.engaged():
+            return comm.fused_collective(("oktopk_select", t, k),
+                                         (comm, self, acc),
+                                         _exec_select_local)
+        return self._select_local_serial(comm, acc, k, t)
+
+    def _select_local_serial(self, comm: SimComm, acc: np.ndarray,
+                             k: int, t: int) -> COOVector:
         st = self._state
         n = acc.size
         if st.local_th is None or self._due(t, self.tau_prime):

@@ -136,13 +136,19 @@ def bert_proxy(hidden: int = 32, layers: int = 2,
 
 
 def perf_proxy(hidden: int = 64, image_size: int = 16,
-               n_train: int = 64) -> ProxySpec:
+               n_train: int = 64, global_batch: int = 16) -> ProxySpec:
     """Comm-dominated probe for wall-clock perf tracking.
 
     A deliberately tiny MLP (~50k params, microseconds of numpy compute per
     iteration) so that `train_scheme` wall time is dominated by the
     simulator's communication layer — the thing `bench_perf_wallclock.py`
     tracks across PRs.  Not one of the paper's workloads.
+
+    ``global_batch``/``n_train`` exist for the P >= 64 scale cases:
+    :class:`~repro.data.ShardedLoader` requires ``size <= global_batch <=
+    n_train``, so e.g. ``perf_proxy(n_train=128, global_batch=128)`` runs
+    a P=128 world at one sample per rank.  The P <= 16 perf-trajectory
+    rows keep the historical defaults.
     """
     from ..nn.activation import ReLU
     from ..nn.linear import Linear
@@ -164,9 +170,11 @@ def perf_proxy(hidden: int = 64, image_size: int = 16,
             lambda: make_cifar_like(n_train, 16, image_size=image_size,
                                     noise=0.6, seed=0))
 
+    if global_batch > n_train:
+        raise ValueError(f"global_batch {global_batch} > n_train {n_train}")
     return ProxySpec(name="perf_mlp", make_model=make_model,
-                     make_splits=make_splits, global_batch=16, lr=0.05,
-                     mode="sgd")
+                     make_splits=make_splits, global_batch=global_batch,
+                     lr=0.05, mode="sgd")
 
 
 PROXIES = {"vgg16": vgg_proxy, "lstm": lstm_proxy, "bert": bert_proxy,

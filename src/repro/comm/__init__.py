@@ -30,7 +30,7 @@ reference rounds); disable it with ``REPRO_FUSED=0``,
 
 from . import collectives
 from .communicator import AsyncRegion, SimComm
-from .engine import CoopEngine
+from .engine import Call, CoopEngine, GenEngine, drive_program
 from .faults import ComputeStraggler, FaultPlan, LinkSlowdown, RankCrash
 from .fused import FUSED_ENV, fusion_enabled
 from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
@@ -49,7 +49,10 @@ __all__ = [
     "RUNNER_ENV",
     "FUSED_ENV",
     "fusion_enabled",
+    "Call",
     "CoopEngine",
+    "GenEngine",
+    "drive_program",
     "Request",
     "SendRequest",
     "RecvRequest",

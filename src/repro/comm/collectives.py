@@ -221,8 +221,7 @@ def _rabenseifner_core(comm: SimComm, acc: np.ndarray, newrank: int, m: int,
     lo, hi = 0, n
     # --- recursive halving reduce-scatter -----------------------------
     d = m >> 1
-    seg = acc  # view bookkeeping done with explicit (lo, hi)
-    work = acc
+    work = acc  # view bookkeeping done with explicit (lo, hi)
     while d >= 1:
         partner_new = newrank ^ d
         partner = _fold_real_rank(partner_new, p, m)

@@ -50,7 +50,6 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import SimulatedRankCrash
 from .message import Message, RecvRequest, Request, SendRequest
 from .network import Network
 from .payload import freeze as _freeze
@@ -276,6 +275,9 @@ class SimComm:
         self.slot = slot
         self._group = group
         self._phase_times: dict[str, float] = {}
+        #: lockstep rank-batching handle, published by the trainer
+        #: (see :mod:`repro.train.rankbatch`); None = per-rank execution
+        self.rank_batch = None
 
     def _to_slot(self, r: int) -> int:
         """Translate a group-relative peer rank to its network slot."""
@@ -489,6 +491,15 @@ class SimComm:
         """
         recvs = [r for r in requests if isinstance(r, RecvRequest)
                  and not r.completed]
+        if recvs:
+            # Generator-engine pre-flight: park (without consuming any
+            # message) until every channel below can satisfy its pops, so
+            # the retried call starts from unconsumed state.  The hook is
+            # absent on the other schedulers and a carrier-thread no-op.
+            ensure = getattr(self.net._sched, "ensure_recvs", None)
+            if ensure is not None:
+                ensure(self.slot,
+                       [(self._to_slot(r.source), r.tag) for r in recvs])
         msgs: List[tuple[Message, RecvRequest]] = []
         for r in recvs:
             msgs.append((self._match_blocking(r.source, r.tag), r))

@@ -42,7 +42,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from math import inf
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

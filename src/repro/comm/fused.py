@@ -95,11 +95,69 @@ UNFUSED = object()
 #: environment variable disabling the fused fast path ("0"/"false"/"off")
 FUSED_ENV = "REPRO_FUSED"
 
+#: profitability floors for the dense fused collectives (allreduce,
+#: reduce-scatter/allgather ring, reduce): worlds smaller than
+#: ``REPRO_FUSED_MIN_RANKS`` ranks, or payloads smaller than
+#: ``REPRO_FUSED_MIN_WPR`` words per rank, take the per-message path
+#: instead (recorded in ``algorithm_log`` as mode ``"unfused-small"``).
+#: Simulated time is identical either way; the floors are wall-clock-only.
+FUSED_MIN_RANKS_ENV = "REPRO_FUSED_MIN_RANKS"
+FUSED_MIN_WPR_ENV = "REPRO_FUSED_MIN_WPR"
+
+#: measured single-core defaults (see BENCH_PERF meta): at P <= 3 the
+#: rendezvous park/wake plus central replay never beats the handful of
+#: per-message posts (fused/reference ratios 0.75-1.10 across payloads of
+#: 16..50k words), while at P >= 4 fusion wins at every measured size down
+#: to one word per rank (1.04x-4.3x) — so the rank floor is 4 and the
+#: words-per-rank floor defaults to 0 (a knob for hosts where tiny fused
+#: payloads measure slower than this box).
+_MIN_RANKS_DEFAULT = 4
+_MIN_WPR_DEFAULT = 0
+
 
 def fusion_enabled() -> bool:
     """Whether the fused fast path is enabled for new engines (env gate)."""
     return os.environ.get(FUSED_ENV, "1").lower() not in (
         "0", "false", "off", "no")
+
+
+def _floor_from_env(env: str, default: int) -> int:
+    raw = os.environ.get(env)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def fusion_floors() -> Tuple[int, int]:
+    """The ``(min_ranks, min_words_per_rank)`` profitability floors below
+    which dense-collective fusion is skipped (env-overridable)."""
+    return (_floor_from_env(FUSED_MIN_RANKS_ENV, _MIN_RANKS_DEFAULT),
+            _floor_from_env(FUSED_MIN_WPR_ENV, _MIN_WPR_DEFAULT))
+
+
+def _too_small(comm, collective: str, algorithm: str, nwords_: int) -> bool:
+    """Profitability gate for the dense fused entry points.
+
+    Fusion replaces ``O(P log P)`` per-message park/wake cycles with one
+    rendezvous plus a vectorized replay — a win that has to amortize the
+    rendezvous itself.  When the world or the payload is below the
+    :func:`fusion_floors`, the per-message path is faster in wall-clock
+    terms (simulated results/clocks/counters are bit-identical either
+    way), so the entry point returns :data:`UNFUSED` and the skip is
+    recorded once per call in :attr:`Network.algorithm_log` under mode
+    ``"unfused-small"`` — auditable next to the reference path's own
+    ``forced``/``auto``/``adaptive`` entries."""
+    min_ranks, min_wpr = fusion_floors()
+    p = comm.size
+    if p >= min_ranks and nwords_ >= min_wpr * p:
+        return False
+    if comm.rank == 0:  # once per collective call, not once per rank
+        comm.net.note_algorithm(collective, algorithm, "unfused-small",
+                                nwords_)
+    return True
 
 
 def _available(comm) -> bool:
@@ -699,16 +757,26 @@ def _sum_rabenseifner(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:
 
 def _sum_ring(payloads: Sequence[np.ndarray], p: int) -> np.ndarray:
     """The ring's sequential fold: block ``b`` accumulates around the
-    ring as ``op(a_b, op(a_{b-1}, ... op(a_{b+2}, a_{b+1})))``."""
-    stack = np.stack([np.asarray(a) for a in payloads])
-    n = stack.shape[1]
+    ring as ``op(a_b, op(a_{b-1}, ... op(a_{b+2}, a_{b+1})))``.
+
+    Blocks are contiguous, so each block folds over plain slices — no
+    full-width gather is ever materialized (the naive
+    ``stack[(block_of + 1 + j) % p, col]`` formulation costs ``P``
+    fancy-indexed passes over the whole vector and dominated the fused
+    ring path at large ``n``)."""
+    arrs = [np.asarray(a) for a in payloads]
+    n = arrs[0].shape[0]
     lens = _ring_block_lens(n, p)
-    block_of = np.repeat(np.arange(p, dtype=np.int64), lens)
-    col = np.arange(n)
-    partial = stack[(block_of + 1) % p, col]
-    for j in range(1, p):
-        partial = stack[(block_of + 1 + j) % p, col] + partial
-    return partial
+    out = np.empty_like(arrs[0])
+    off = 0
+    for b, ln in enumerate(lens):
+        sl = slice(off, off + ln)
+        off += ln
+        partial = arrs[(b + 1) % p][sl]
+        for j in range(1, p):
+            partial = arrs[(b + 1 + j) % p][sl] + partial
+        out[sl] = partial
+    return out
 
 
 def _sum_reduce_tree(payloads: Sequence[Any], p: int, root: int):
@@ -753,6 +821,8 @@ def fused_allreduce(comm, arr: np.ndarray, op, algo: str):
     if op is not np.add or not _available(comm):
         return UNFUSED
     a = np.asarray(arr)
+    if _too_small(comm, "allreduce", algo, a.size * _wpe(a)):
+        return UNFUSED
     sig = ("allreduce", algo, a.size, _wpe(a), a.dtype.str)
     return comm.fused_collective(sig, a, _exec_allreduce)
 
@@ -777,6 +847,8 @@ def fused_reduce_scatter_ring(comm, arr: np.ndarray, op):
     if op is not np.add or not _available(comm):
         return UNFUSED
     a = np.asarray(arr)
+    if _too_small(comm, "reduce_scatter_ring", "ring", a.size * _wpe(a)):
+        return UNFUSED
     sig = ("reduce_scatter_ring", a.size, _wpe(a), a.dtype.str)
     return comm.fused_collective(sig, a, _exec_rs_ring)
 
@@ -796,6 +868,8 @@ def fused_allgather_ring(comm, block: np.ndarray, n: int):
     if not _available(comm):
         return UNFUSED
     a = np.asarray(block)
+    if _too_small(comm, "allgather_ring", "ring", int(n) * _wpe(a)):
+        return UNFUSED
     sig = ("allgather_ring", int(n), _wpe(a), a.dtype.str)
     return comm.fused_collective(sig, a, _exec_ag_ring)
 
@@ -875,6 +949,8 @@ def fused_reduce(comm, arr: np.ndarray, root: int, op):
     if op is not np.add or not _available(comm):
         return UNFUSED
     a = np.asarray(arr)
+    if _too_small(comm, "reduce", "binomial_tree", a.size * _wpe(a)):
+        return UNFUSED
     sig = ("reduce", root, a.size, _wpe(a), a.dtype.str)
     return comm.fused_collective(sig, a, _exec_reduce)
 

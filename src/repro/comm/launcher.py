@@ -37,9 +37,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+import inspect
+
 from ..errors import CommError, RankFailedError, SimulatedRankCrash
 from .communicator import SimComm
-from .engine import CoopEngine
+from .engine import CoopEngine, GenEngine, drive_program
 from .faults import FaultPlan
 from .model import NetworkModel
 from .network import Network, TrafficStats
@@ -53,6 +55,8 @@ _RUNNER_ALIASES = {
     "cooperative": "coop",
     "threads": "threads",
     "threaded": "threads",
+    "gen": "gen",
+    "generator": "gen",
 }
 
 
@@ -145,12 +149,23 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
             f"network has {net.nranks} ranks but nranks={nranks} requested")
     which = resolve_runner(runner)
 
+    if which != "gen" and inspect.isgeneratorfunction(fn):
+        # Generator rank-programs run under every runner: outside the
+        # generator engine the yielded thunks execute inline on the
+        # rank's own thread (see repro.comm.engine.drive_program).
+        fn = drive_program(fn)
+
     if nranks == 1:
         # Fast path: single rank runs inline on the calling thread (keeps
         # tracebacks simple; payload semantics are the threaded ones).
+        if inspect.isgeneratorfunction(fn):
+            fn = drive_program(fn)
         results, failures = _run_inline(net, fn, args, kwargs)
     elif which == "threads":
         results, failures = _run_threads(net, nranks, fn, args, kwargs)
+    elif which == "gen":
+        results, failures = GenEngine(net, nranks,
+                                      fused=fused).run(fn, args, kwargs)
     else:
         results, failures = CoopEngine(net, nranks,
                                        fused=fused).run(fn, args, kwargs)

@@ -121,7 +121,7 @@ class NetworkModel:
         if self.o_inject:
             seq = np.full(n, self.o_inject)
             seq[0] = sender_clock
-            return np.cumsum(seq)
+            return seq.cumsum()
         return np.full(n, sender_clock)
 
     # ------------------------------------------------------------------
@@ -182,15 +182,17 @@ class NetworkModel:
         if n == 0:
             return b, b
         # saturated fast path: prev_end[i] >= avail[i] for all i
+        # (ndarray method calls skip the np.* dispatch wrappers — this
+        # booking runs 64+ times per fused split-reduce dispatch)
         seq = np.empty(n + 1)
         seq[0] = free
         seq[1:] = b
-        chain = np.cumsum(seq)          # chain[i] = end of message i-1
-        if np.all(avail <= chain[:-1]):
+        chain = seq.cumsum()            # chain[i] = end of message i-1
+        if (avail <= chain[:-1]).all():
             return chain[:-1], chain[1:]
         # idle fast path: link free before every message becomes available
         ends = avail + b
-        if avail[0] >= free and (n == 1 or np.all(avail[1:] >= ends[:-1])):
+        if avail[0] >= free and (n == 1 or (avail[1:] >= ends[:-1]).all()):
             return avail, ends
         # mixed regime: exact scalar fold over plain floats
         end = free

@@ -10,6 +10,8 @@ from .module import Module
 
 
 class ReLU(Module):
+    stacked_elementwise = True
+
     def __init__(self):
         super().__init__()
         self._mask: Optional[np.ndarray] = None
@@ -24,6 +26,8 @@ class ReLU(Module):
 
 class GELU(Module):
     """tanh approximation of GELU (as used in BERT)."""
+
+    stacked_elementwise = True
 
     _C = np.sqrt(2.0 / np.pi).astype(np.float32) if hasattr(
         np.sqrt(2.0 / np.pi), "astype") else np.sqrt(2.0 / np.pi)
@@ -47,6 +51,8 @@ class GELU(Module):
 
 
 class Tanh(Module):
+    stacked_elementwise = True
+
     def __init__(self):
         super().__init__()
         self._y: Optional[np.ndarray] = None
@@ -60,6 +66,8 @@ class Tanh(Module):
 
 
 class Sigmoid(Module):
+    stacked_elementwise = True
+
     def __init__(self):
         super().__init__()
         self._y: Optional[np.ndarray] = None

@@ -39,3 +39,37 @@ class Linear(Module):
         if self.b is not None:
             self.b.grad += dy2.sum(axis=0)
         return (dy2 @ self.W.data).reshape(x.shape)
+
+    # rank-stacked execution ---------------------------------------------
+    # One gufunc matmul over the (P, ...) rank axis runs the identical 2-D
+    # GEMM per rank slice, so results are bit-equal to P per-rank calls.
+    def forward_stacked(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        y = x @ self.W.data.T
+        if self.b is not None:
+            y += self.b.data
+        return y
+
+    def backward_stacked(self, dy: np.ndarray,
+                         grads: list) -> np.ndarray:
+        x = self._x
+        nranks = x.shape[0]
+        x2 = x.reshape(nranks, -1, self.in_features)
+        dy2 = dy.reshape(nranks, -1, self.out_features)
+        if dy2.shape[1] == 1:
+            # Per-rank batch of one: the weight gradient is a pure outer
+            # product — a broadcast multiply computes the identical single
+            # product per element several times faster than the batched
+            # GEMM (matmul's pathological K=1 case).
+            gw = dy2.reshape(nranks, self.out_features, 1) * x2
+        else:
+            gw = np.matmul(dy2.transpose(0, 2, 1), x2)
+        gW = grads[0]
+        for r in range(nranks):
+            # per-slice adds hit the contiguous fast path the whole-array
+            # strided += misses (the rank axis strides across the shared
+            # gradient matrix)
+            gW[r] += gw[r]
+        if self.b is not None:
+            grads[1] += dy2.sum(axis=1)
+        return np.matmul(dy2, self.W.data).reshape(x.shape)

@@ -47,3 +47,32 @@ class SoftmaxCrossEntropy(Loss):
         probs[rows, picked] -= 1.0
         dflat[valid] = (probs / nvalid).astype(logits.dtype)
         return loss, dflat.reshape(orig_shape)
+
+    def forward_backward_stacked(
+            self, logits: np.ndarray,
+            targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Rank-stacked loss: ``logits`` has a leading (P, ...) rank axis.
+
+        Bit-identical per rank slice to :meth:`forward_backward`: the
+        softmax is row-independent and the per-rank mean reduces over the
+        same values in the same order.  Ranks with masked targets fall
+        back to the per-rank path so the ``valid``-subset arithmetic stays
+        untouched.
+        """
+        nranks = logits.shape[0]
+        C = logits.shape[-1]
+        tgt = targets.reshape(nranks, -1)
+        if (tgt == self.ignore_index).any():
+            pairs = [self.forward_backward(logits[r], targets[r])
+                     for r in range(nranks)]
+            losses = np.array([loss for loss, _ in pairs], dtype=np.float64)
+            return losses, np.stack([d for _, d in pairs])
+        M = tgt.shape[1]
+        logp = _log_softmax(logits.reshape(-1, C).astype(np.float64))
+        rows = np.arange(nranks * M)
+        picked = tgt.reshape(-1).astype(np.int64)
+        losses = -logp[rows, picked].reshape(nranks, M).mean(axis=1)
+        probs = np.exp(logp)
+        probs[rows, picked] -= 1.0
+        dflat = (probs / M).astype(logits.dtype)
+        return losses, dflat.reshape(logits.shape)

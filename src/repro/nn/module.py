@@ -115,6 +115,15 @@ class Flatten(Module):
     def backward(self, dy: np.ndarray) -> np.ndarray:
         return dy.reshape(self._shape)
 
+    # rank-stacked execution: (P, B, ...) -> (P, B, prod(...))
+    def forward_stacked(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward_stacked(self, dy: np.ndarray, grads: List[np.ndarray]
+                         ) -> np.ndarray:
+        return dy.reshape(self._shape)
+
 
 # ---------------------------------------------------------------------------
 # Initialization
@@ -164,6 +173,26 @@ class FlatModel:
             p.grad = self._flat_grad[sl].reshape(p.grad.shape)
             self._segment_names.append(p.name or f"param{i}")
             self._segment_sizes.append(p.size)
+            ofs += p.size
+
+    def rebind_storage(self, flat: np.ndarray, grad: np.ndarray) -> None:
+        """Re-home the parameter/gradient storage onto caller-owned buffers.
+
+        The caller is responsible for having copied the current parameter
+        values into ``flat`` beforehand; ``grad`` contents are irrelevant
+        (``loss_and_grad`` zeroes them).  Used by the rank-batched executor
+        to place every rank's vector as one row of a shared ``(P, n)``
+        matrix, so stacked math and per-rank views address the same memory.
+        """
+        if flat.shape != self._flat.shape or grad.shape != self._flat_grad.shape:
+            raise ValueError("rebind_storage: shape mismatch")
+        self._flat = flat
+        self._flat_grad = grad
+        ofs = 0
+        for p in self.module.parameters():
+            sl = slice(ofs, ofs + p.size)
+            p.data = flat[sl].reshape(p.data.shape)
+            p.grad = grad[sl].reshape(p.grad.shape)
             ofs += p.size
 
     @property

@@ -110,14 +110,20 @@ class TopkSGD:
         self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
-             grad: np.ndarray, *, pacer=None) -> StepInfo:
+             grad: np.ndarray, *, pacer=None, rb=None) -> StepInfo:
         """One synchronous data-parallel step; mutates ``params``.
 
         ``pacer`` enables streaming sessions (see
-        :func:`_session_or_reduce`)."""
+        :func:`_session_or_reduce`); ``rb`` (a
+        :class:`repro.train.rankbatch.RankBatch`) batches the residual
+        accumulation across the world when lockstep execution is engaged
+        — bit-identical to the per-rank expression."""
         self.t += 1
         lr = self.lr(self.t)
-        acc = self.residual + lr * grad.astype(np.float32, copy=False)
+        acc = rb.accumulate(self.t, self.residual, lr, grad) \
+            if rb is not None else None
+        if acc is None:
+            acc = self.residual + lr * grad.astype(np.float32, copy=False)
         result = _session_or_reduce(self.allreduce, comm, acc, self.t,
                                     self.layout, self.bucket_size,
                                     pacer=pacer)
@@ -152,9 +158,12 @@ class SparseOptimWrapper:
         self.bucket_size = bucket_size
 
     def step(self, comm: SimComm, params: np.ndarray,
-             grad: np.ndarray, *, pacer=None) -> StepInfo:
+             grad: np.ndarray, *, pacer=None, rb=None) -> StepInfo:
         self.t += 1
-        acc = self.residual + grad.astype(np.float32, copy=False)
+        acc = rb.accumulate(self.t, self.residual, 1.0, grad) \
+            if rb is not None else None
+        if acc is None:
+            acc = self.residual + grad.astype(np.float32, copy=False)
         result = _session_or_reduce(self.allreduce, comm, acc, self.t,
                                     self.layout, self.bucket_size,
                                     pacer=pacer)

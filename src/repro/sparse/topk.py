@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .coo import COOVector, INDEX_DTYPE
+from .coo import COOVector, INDEX_DTYPE, VALUE_DTYPE
 
 
 def kth_largest_abs(x: np.ndarray, k: int) -> float:
@@ -54,8 +54,9 @@ def topk_indices(x: np.ndarray, k: int) -> np.ndarray:
 def exact_topk(x: np.ndarray, k: int) -> COOVector:
     """Exact top-k sparsification of a dense vector."""
     idx = topk_indices(x, k)
-    return COOVector.from_arrays(x.size, idx,
-                                 x.ravel()[idx], sort=False)
+    # direct construction: indices are sorted/unique/in-range by build
+    return COOVector(x.size, idx,
+                     x.ravel()[idx].astype(VALUE_DTYPE, copy=False))
 
 
 def threshold_indices(x: np.ndarray, threshold: float) -> np.ndarray:
@@ -66,5 +67,51 @@ def threshold_indices(x: np.ndarray, threshold: float) -> np.ndarray:
 def threshold_select(x: np.ndarray, threshold: float) -> COOVector:
     """Threshold sparsification — Ok-Topk's per-iteration selection."""
     idx = threshold_indices(x, threshold)
-    return COOVector.from_arrays(x.size, idx,
-                                 x.ravel()[idx], sort=False)
+    # direct construction: flatnonzero output is sorted/unique/in-range
+    return COOVector(x.size, idx,
+                     x.ravel()[idx].astype(VALUE_DTYPE, copy=False))
+
+
+# ---------------------------------------------------------------------------
+# Rank-batched variants: one numpy pass over a (P, n) matrix whose rows are
+# the per-rank vectors.  Each row's result is bit-identical to the scalar
+# function applied to that row alone (partition and comparisons are
+# row-independent).
+# ---------------------------------------------------------------------------
+def batched_kth_largest_abs(xs: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`kth_largest_abs` — one ``np.partition`` call.
+
+    Returns a float64 array of per-row thresholds.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be >= 1, got {k}")
+    nranks, n = xs.shape
+    if k > n:
+        return np.zeros(nranks, dtype=np.float64)
+    mag = np.abs(xs)
+    return np.partition(mag, n - k, axis=1)[:, n - k].astype(np.float64)
+
+
+def batched_threshold_select(xs: np.ndarray,
+                             thresholds: "np.ndarray | list",
+                             ) -> "list[COOVector]":
+    """Row-wise :func:`threshold_select` — one mask + one ``nonzero`` pass.
+
+    The per-rank path compares float32 data against a Python float, which
+    numpy evaluates as a float32 comparison (weak scalar promotion); to
+    match it bit-for-bit the batched comparison casts the thresholds to a
+    float32 column first.
+    """
+    nranks, n = xs.shape
+    ths = np.asarray(thresholds, dtype=xs.dtype).reshape(nranks, 1)
+    mask = np.abs(xs) >= ths
+    # 1-D nonzero is several times faster than the 2-D path; recover the
+    # per-row split points from the flat indices afterwards.
+    flat = np.flatnonzero(mask)
+    cols = (flat % n).astype(INDEX_DTYPE)
+    vals = np.ascontiguousarray(xs).reshape(-1)[flat]
+    starts = np.searchsorted(flat, np.arange(1, nranks) * n)
+    # direct construction (no validate): per-row flat indices are sorted,
+    # unique and in-range by construction; dtypes already canonical
+    return [COOVector(n, c, v)
+            for c, v in zip(np.split(cols, starts), np.split(vals, starts))]

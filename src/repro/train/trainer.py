@@ -56,6 +56,7 @@ from ..allreduce import ParamLayout, make_allreduce, visible_comm_time
 from ..comm import SimComm
 from ..errors import ConfigError, RankFailedError
 from ..optim import Adam, SparseOptimWrapper, TopkSGD
+from .rankbatch import RankBatch
 from .records import IterationRecord, RunRecord
 from .xi import measure_xi
 
@@ -206,6 +207,12 @@ class Trainer:
                                   bucket_size=cfg.bucket_size)
             self._alpha_for_xi = None  # use the schedule value per step
         self.record = RunRecord(scheme=cfg.scheme, p=comm.size)
+        # Lockstep rank-batched compute (see repro.train.rankbatch):
+        # published on the communicator so deeper layers (Ok-Topk local
+        # selection) can join the batch.  Disengages itself whenever
+        # batching is unsupported or ranks can diverge.
+        self._rb = RankBatch(comm, model)
+        comm.rank_batch = self._rb
 
     # ------------------------------------------------------------------
     def run(self) -> RunRecord:
@@ -230,7 +237,11 @@ class Trainer:
         comm, cfg, model = self.comm, self.cfg, self.model
         stream = cfg.overlap_mode == "stream"
         x, y = self.batches.next_batch(t)
-        loss, grad = model.loss_and_grad(x, y)
+        batched = self._rb.loss_and_grad(t, x, y)
+        if batched is None:
+            loss, grad = model.loss_and_grad(x, y)
+        else:
+            loss, grad = batched
 
         clock0 = comm.clock
         recv0 = int(comm.net.words_recv[comm.slot])
@@ -257,7 +268,7 @@ class Trainer:
                                    cfg.overlap_backward_fraction,
                                    self.layout.n)
             info = self.driver.step(comm, model.params_flat, grad,
-                                    pacer=pacer)
+                                    pacer=pacer, rb=self._rb)
             res = info.result
             sparsify = res.sparsify_time
             comm_t = res.comm_time
@@ -278,7 +289,8 @@ class Trainer:
                 and res.bucket_stats[0].info.get("stream_fallback"))
         else:
             step_clock = comm.clock
-            info = self.driver.step(comm, model.params_flat, grad)
+            info = self.driver.step(comm, model.params_flat, grad,
+                                    rb=self._rb)
             step_time = comm.clock - step_clock
             res = info.result
 
@@ -335,6 +347,8 @@ class Trainer:
         ckpt = self.checkpoint()
         new = old.shrink()
         self.comm = new
+        self._rb = RankBatch(new, self.model)
+        new.rank_batch = self._rb
         self.model.params_flat[:] = ckpt["params"]
         self.driver.residual[:] = ckpt["residual"]
         self.driver.t = t - 1

@@ -42,7 +42,6 @@ def xi_value(accs: list[np.ndarray], scaled_grads: list[np.ndarray],
              k: int) -> float:
     """Compute ξ centrally from every worker's accumulator and α-scaled
     gradient."""
-    p = len(accs)
     mean_acc = np.mean(accs, axis=0)
     true_topk = exact_topk(mean_acc, k).to_dense()
     mean_of_topk = np.mean([exact_topk(a, k).to_dense() for a in accs],

@@ -1,6 +1,5 @@
 """Analytic cost model (Table 1) and its calibration."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

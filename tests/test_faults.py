@@ -542,7 +542,6 @@ class TestRevokeRendezvous:
 
     def test_fused_fast_path_disabled_under_fault_plan(self):
         from repro.comm.fused import _available
-        from repro.comm.communicator import SimComm
 
         def prog(comm):
             return _available(comm)

@@ -26,6 +26,15 @@ from repro.errors import RankFailedError
 PS = [2, 3, 4, 5, 8]
 
 
+@pytest.fixture(autouse=True)
+def _fusion_floors_off(monkeypatch):
+    """Pin the profitability floors to zero so every P in ``PS`` exercises
+    the fused path (the default floors route P <= 3 to the per-message
+    path for wall-clock reasons — semantics coverage must not shrink)."""
+    monkeypatch.setenv(fused_mod.FUSED_MIN_RANKS_ENV, "0")
+    monkeypatch.setenv(fused_mod.FUSED_MIN_WPR_ENV, "0")
+
+
 # ---------------------------------------------------------------------------
 # helpers
 # ---------------------------------------------------------------------------
@@ -269,6 +278,69 @@ class TestThreeWayBitIdentity:
         assert fusion_enabled()
         monkeypatch.delenv("REPRO_FUSED")
         assert fusion_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Profitability floors (words/P + world-size gate)
+# ---------------------------------------------------------------------------
+class TestFusionFloors:
+    def _prog(self, comm):
+        coll.allreduce(comm, np.ones(256, dtype=np.float32),
+                       algo="recursive_doubling")
+
+    def test_floor_defaults_and_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(fused_mod.FUSED_MIN_RANKS_ENV, raising=False)
+        monkeypatch.delenv(fused_mod.FUSED_MIN_WPR_ENV, raising=False)
+        assert fused_mod.fusion_floors() == (4, 0)
+        monkeypatch.setenv(fused_mod.FUSED_MIN_RANKS_ENV, "2")
+        monkeypatch.setenv(fused_mod.FUSED_MIN_WPR_ENV, "64")
+        assert fused_mod.fusion_floors() == (2, 64)
+        monkeypatch.setenv(fused_mod.FUSED_MIN_WPR_ENV, "not-a-number")
+        assert fused_mod.fusion_floors() == (2, 0)
+
+    def test_small_world_skip_records_provenance(self, monkeypatch):
+        monkeypatch.delenv(fused_mod.FUSED_MIN_RANKS_ENV, raising=False)
+        monkeypatch.delenv(fused_mod.FUSED_MIN_WPR_ENV, raising=False)
+        res = run_spmd(3, self._prog, runner="coop", fused=True)
+        log = res.network.algorithm_log
+        assert log[("allreduce", "recursive_doubling", "unfused-small")] \
+            == {"calls": 1, "words": 256}
+        # the reference path ran and recorded its own entry
+        assert ("allreduce", "recursive_doubling", "forced") in log
+        # above both floors nothing is skipped
+        res = run_spmd(4, self._prog, runner="coop", fused=True)
+        assert not any(mode == "unfused-small"
+                       for _, _, mode in res.network.algorithm_log)
+
+    def test_words_per_rank_floor(self, monkeypatch):
+        monkeypatch.setenv(fused_mod.FUSED_MIN_WPR_ENV, "128")
+        res = run_spmd(4, self._prog, runner="coop", fused=True)  # w/P=64
+        assert ("allreduce", "recursive_doubling",
+                "unfused-small") in res.network.algorithm_log
+        monkeypatch.setenv(fused_mod.FUSED_MIN_WPR_ENV, "64")
+        res = run_spmd(4, self._prog, runner="coop", fused=True)
+        assert ("allreduce", "recursive_doubling",
+                "unfused-small") not in res.network.algorithm_log
+
+    def test_ring_decomposition_skip_records_both_phases(self, monkeypatch):
+        monkeypatch.delenv(fused_mod.FUSED_MIN_RANKS_ENV, raising=False)
+        monkeypatch.delenv(fused_mod.FUSED_MIN_WPR_ENV, raising=False)
+
+        def prog(comm):
+            coll.allreduce(comm, np.ones(256, dtype=np.float32),
+                           algo="ring")
+
+        log = run_spmd(3, prog, runner="coop",
+                       fused=True).network.algorithm_log
+        assert ("reduce_scatter_ring", "ring", "unfused-small") in log
+        assert ("allgather_ring", "ring", "unfused-small") in log
+
+    def test_skipped_run_stays_bit_identical(self, monkeypatch):
+        """With the default floors tripping (P=2), fused=True must land on
+        exactly the reference execution."""
+        monkeypatch.delenv(fused_mod.FUSED_MIN_RANKS_ENV, raising=False)
+        monkeypatch.delenv(fused_mod.FUSED_MIN_WPR_ENV, raising=False)
+        three_way(_collective_torture, 2)
 
 
 # ---------------------------------------------------------------------------

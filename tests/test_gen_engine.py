@@ -1,0 +1,278 @@
+"""Generator (continuation-passing) engine tests.
+
+The ``"gen"`` runner executes rank programs written as *generators* that
+yield zero-argument thunks at their blocking points; a single trampoline
+thread retries a parked thunk when its wake condition arrives, mirroring
+the threaded engine's post-wake paths exactly.  The same generator source
+also runs under the cooperative and threaded runners via
+:func:`repro.comm.engine.drive_program` (the launcher wraps it
+automatically), which is what makes the multi-way bit-identity oracle
+possible: every assertion here compares results, traffic counters and
+simulated makespans across runners with exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import Call, drive_program, resolve_runner, run_spmd
+from repro.comm import collectives as coll
+from repro.comm.faults import FaultPlan, RankCrash
+from repro.errors import DeadlockError, RankFailedError, SimulatedRankCrash
+from repro.sparse import COOVector
+
+RUNNERS = ("gen", "coop", "threads")
+
+
+def _run_all(p, prog, *args, **kwargs):
+    return {r: run_spmd(p, prog, *args, runner=r, **kwargs) for r in RUNNERS}
+
+
+def _assert_identical(results, runners=RUNNERS):
+    base = results[runners[0]]
+    for other in runners[1:]:
+        res = results[other]
+        assert base.makespan == res.makespan  # exact, not approx
+        sa, sb = base.stats, res.stats
+        for field in ("words_sent", "words_recv", "msgs_sent", "msgs_recv"):
+            np.testing.assert_array_equal(
+                getattr(sa, field), getattr(sb, field))
+        for ra, rb in zip(base.results, res.results):
+            if isinstance(ra, np.ndarray):
+                np.testing.assert_array_equal(ra, rb)
+            else:
+                assert ra == rb
+
+
+class TestRunnerSelection:
+    def test_gen_aliases(self):
+        assert resolve_runner("gen") == "gen"
+        assert resolve_runner("generator") == "gen"
+        assert resolve_runner("GEN") == "gen"
+
+
+class TestFourWayIdentity:
+    def test_waitall_storm_program(self):
+        """irecv/isend mesh with the waitall parked as a thunk: the gen
+        engine's non-consuming ``ensure_recvs`` pre-flight must reproduce
+        the threaded engine's incremental matching bit-exactly."""
+        def prog(comm, iters):
+            p, r = comm.size, comm.rank
+            vec = COOVector.from_arrays(
+                512, np.arange(4, dtype=np.int32),
+                np.full(4, float(r + 1), dtype=np.float32))
+            total = 0.0
+            clocks = []
+            for it in range(iters):
+                reqs = []
+                for s in range(1, p):
+                    reqs.append(comm.irecv((r - s) % p, it))
+                    reqs.append(comm.isend(vec, (r + s) % p, it))
+                got = yield (lambda reqs=reqs: comm.waitall(reqs))
+                total += sum(float(g.values.sum())
+                             for g in got if g is not None)
+                clocks.append(comm.clock)
+            return (total, clocks)
+
+        results = _run_all(5, prog, 4)
+        _assert_identical(results)
+
+    def test_recv_send_thunks_with_fairness_yield(self):
+        """Plain blocking recv as a thunk (retry-safe: nothing is consumed
+        before the match exists) plus ``yield None`` fairness points."""
+        def prog(comm):
+            nxt, prv = (comm.rank + 1) % comm.size, (comm.rank - 1) % comm.size
+            out = []
+            for it in range(3):
+                comm.send(np.full(8, comm.rank + it, np.float32), nxt, it)
+                yield None  # cooperative fairness yield, no-op semantics
+                got = yield (lambda it=it: comm.recv(prv, it))
+                out.append(float(got[0]))
+            return out
+
+        results = _run_all(4, prog)
+        _assert_identical(results)
+
+    def test_call_wrapped_dense_collectives(self):
+        """sendrecv-based subroutines post before they block, so they are
+        not retry-safe; ``yield Call(fn)`` runs them on a carrier thread
+        that parks like a cooperative rank."""
+        def prog(comm):
+            x = np.linspace(0, 1, 96, dtype=np.float32) * (comm.rank + 1)
+            ring = yield Call(lambda: coll.allreduce(comm, x, algo="ring"))
+            rd = yield Call(
+                lambda: coll.allreduce(comm, x, algo="recursive_doubling"))
+            got = yield Call(
+                lambda: comm.sendrecv(comm.rank, (comm.rank + 1) % comm.size,
+                                      (comm.rank - 1) % comm.size, 77))
+            assert got == (comm.rank - 1) % comm.size
+            return np.concatenate([ring, rd])
+
+        results = _run_all(4, prog)
+        _assert_identical(results)
+
+    def test_fused_collective_thunk(self):
+        """A fused-collective rendezvous is retry-safe by construction on
+        the gen engine (parked ranks find their slot on retry), so it can
+        be yielded as a plain thunk.  Threads has no engine, so the oracle
+        here is gen vs coop."""
+        def _exec_sum(net, sig, payloads):
+            s = np.add.reduce(np.stack(payloads), axis=0)
+            return [s.copy() for _ in payloads]
+
+        def prog(comm):
+            x = np.full(16, float(comm.rank + 1), dtype=np.float32)
+            out = yield (lambda: comm.fused_collective(("sum", 16), x,
+                                                       _exec_sum))
+            return out
+
+        results = {r: run_spmd(4, prog, runner=r) for r in ("gen", "coop")}
+        _assert_identical(results, runners=("gen", "coop"))
+
+    def test_plain_function_under_gen_delegates(self):
+        """Non-generator programs run unchanged under ``runner="gen"``
+        (the engine falls back to the cooperative scheduler), so existing
+        scheme programs keep working."""
+        from repro.allreduce import make_allreduce
+
+        def prog(comm):
+            algo = make_allreduce("oktopk", density=0.05)
+            rng = np.random.default_rng(41 + comm.rank)
+            outs = []
+            for t in range(1, 4):
+                res = algo.reduce(
+                    comm, rng.normal(size=1024).astype(np.float32), t)
+                upd = res.update
+                outs.append(upd.to_dense() if isinstance(upd, COOVector)
+                            else np.asarray(upd))
+            return np.concatenate(outs)
+
+        results = _run_all(4, prog)
+        _assert_identical(results)
+
+    def test_drive_program_inline_single_rank(self):
+        def prog(comm):
+            comm.send("self", comm.rank, 1)
+            got = yield (lambda: comm.recv(comm.rank, 1))
+            return got
+
+        for runner in RUNNERS:
+            assert run_spmd(1, prog, runner=runner)[0] == "self"
+        # and explicitly via the adapter
+        assert run_spmd(1, drive_program(prog), runner="coop")[0] == "self"
+
+
+class TestFailureTaxonomy:
+    def test_program_error_unblocks_parked_generators(self):
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            yield (lambda: comm.recv(0))  # parked until the abort arrives
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, prog, runner="gen")
+        assert isinstance(ei.value.failures[0], RuntimeError)
+
+    def test_direct_blocking_call_in_body_is_a_clear_error(self):
+        """A would-park primitive called directly between yields (not as
+        a thunk) cannot be retried — the engine reports a programming
+        error naming the fix instead of corrupting the generator."""
+        def prog(comm):
+            if comm.rank == 1:
+                yield None
+                comm.recv(0, 9)  # nobody sent yet: would park in body code
+            yield None
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(2, prog, runner="gen")
+        err = ei.value.failures[1]
+        assert isinstance(err, RuntimeError)
+        assert "yield it as a zero-arg thunk" in str(err)
+
+    def test_error_raised_through_yield(self):
+        """An exception from a thunk is thrown back into the generator at
+        the yield point, so programs can catch comm errors in-line."""
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            try:
+                yield (lambda: comm.recv(0))
+            except Exception as exc:
+                return type(exc).__name__
+            return "no error"
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(2, prog, runner="gen")
+        assert list(ei.value.failures) == [0]
+
+    def test_global_deadlock_detected(self):
+        holder = {}
+
+        def prog(comm):
+            holder["net"] = comm.net
+            # everyone waits on a message nobody sends
+            yield (lambda: comm.recv((comm.rank + 1) % comm.size, 9))
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, prog, runner="gen")
+        assert "can never match" in str(ei.value)
+        exc = holder["net"]._abort_exc
+        assert isinstance(exc, DeadlockError)
+        assert len(exc.blocked) == 3
+        assert all(entry["op"] == "recv" for entry in exc.blocked)
+
+    def test_planned_crash_reported_to_survivors(self):
+        """A fault-plan crash under the gen runner behaves like under the
+        other runners: survivors that talk to the dead rank get a
+        RankFailedError naming it."""
+        plan = FaultPlan(crashes=[RankCrash(rank=1, time=0.0)])
+
+        def prog(comm):
+            nxt = (comm.rank + 1) % comm.size
+            comm.send(np.ones(4, np.float32), nxt, 1)
+            got = yield (lambda: comm.recv((comm.rank - 1) % comm.size, 1))
+            return float(got.sum())
+
+        with pytest.raises(RankFailedError) as ei:
+            run_spmd(3, prog, runner="gen", faults=plan)
+        assert isinstance(ei.value.failures[1], SimulatedRankCrash)
+
+    def test_elastic_crash_with_indifferent_survivors(self):
+        """Survivors that never touch the dead rank finish normally: the
+        section succeeds and reports the crash in ``SpmdResult.crashed``."""
+        plan = FaultPlan(crashes=[RankCrash(rank=2, time=0.0)])
+
+        def prog(comm):
+            if comm.rank == 2:
+                comm.send(np.ones(2, np.float32), 0, 5)  # crashes here
+                return None
+            peer = 1 - comm.rank
+            comm.send(comm.rank, peer, 1)
+            got = yield (lambda: comm.recv(peer, 1))
+            return got
+
+        res = run_spmd(3, prog, runner="gen", faults=plan)
+        assert list(res.crashed) == [2]
+        assert res.results[0] == 1 and res.results[1] == 0
+
+
+class TestSchemeEquivalenceUnderGen:
+    @pytest.mark.parametrize("scheme", ["dense", "gtopk", "oktopk"])
+    def test_schemes_identical_gen_vs_threads(self, scheme):
+        from repro.allreduce import make_allreduce
+
+        def prog(comm):
+            algo = make_allreduce(
+                scheme, **({} if scheme == "dense" else {"density": 0.05}))
+            rng = np.random.default_rng(17 + comm.rank)
+            outs = []
+            for t in range(1, 3):
+                res = algo.reduce(
+                    comm, rng.normal(size=1536).astype(np.float32), t)
+                upd = res.update
+                outs.append(upd.to_dense() if isinstance(upd, COOVector)
+                            else np.asarray(upd))
+            return np.concatenate(outs)
+
+        results = {r: run_spmd(4, prog, runner=r)
+                   for r in ("gen", "threads")}
+        _assert_identical(results, runners=("gen", "threads"))

@@ -15,7 +15,6 @@ from repro.nn import (
     MaxPool2d,
     MultiHeadSelfAttention,
     ReLU,
-    Sequential,
     Sigmoid,
     SoftmaxCrossEntropy,
     Tanh,

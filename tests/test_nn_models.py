@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import FlatModel, SoftmaxCrossEntropy
+from repro.nn import FlatModel
 from repro.nn.models import (
     AN4_FULL_HIDDEN,
     BertConfig,

@@ -7,13 +7,8 @@ from hypothesis.extra import numpy as hnp
 
 from repro.allreduce import make_allreduce
 from repro.comm import nwords, run_spmd
-from repro.quant import (
-    LinearQuantizer,
-    QCOOPayload,
-    dequantize_coo,
-    quantize_coo,
-)
-from repro.sparse import COOVector, combine_sum, exact_topk
+from repro.quant import LinearQuantizer, dequantize_coo, quantize_coo
+from repro.sparse import COOVector
 
 values32 = hnp.arrays(np.float32, st.integers(1, 100),
                       elements=st.floats(-100, 100, allow_nan=False,

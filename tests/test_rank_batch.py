@@ -1,0 +1,303 @@
+"""Lockstep rank-batched compute: bit-identity and fallback rules.
+
+The batched executors (:mod:`repro.train.rankbatch`,
+:mod:`repro.nn.stacked`, the batched top-k of :mod:`repro.sparse.topk`)
+must produce results bit-identical to per-rank execution, and must
+disengage — deterministically, on every rank — whenever ranks can
+diverge (faults, elastic shrink, group communicators, tracing, runners
+without a rendezvous engine).  A divergent run must therefore land on
+exactly the code a never-batched run executes.
+"""
+
+import os
+from dataclasses import asdict
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import perf_proxy, proxy_network, train_scheme
+from repro.comm import run_spmd
+from repro.comm.faults import FaultPlan, RankCrash
+from repro.nn.stacked import StackedModel, supports_stacking
+from repro.sparse.topk import (batched_kth_largest_abs,
+                               batched_threshold_select, kth_largest_abs,
+                               threshold_select)
+from repro.train.rankbatch import RANK_BATCH_ENV, RankBatch, stack_rows
+from repro.train.rankbatch import _exec_accumulate, _exec_fwd_bwd
+
+RUNNER_ENV = "REPRO_SPMD_RUNNER"
+
+
+def _models(p):
+    proxy = perf_proxy()
+    return [proxy.make_model() for _ in range(p)]  # identical seed 7 init
+
+
+def _batch(rng, p, b=4):
+    xs = rng.normal(size=(p, b, 3, 16, 16)).astype(np.float32)
+    ys = rng.integers(0, 10, size=(p, b))
+    return xs, ys
+
+
+class TestStackedModel:
+    def test_supports_stacking(self):
+        assert supports_stacking(_models(1)[0])
+        assert not supports_stacking(object())
+        assert not supports_stacking(None)
+
+    def test_rows_bit_identical_to_per_rank(self):
+        p = 4
+        rng = np.random.default_rng(11)
+        xs, ys = _batch(rng, p)
+        # independent replica set for the per-rank reference
+        ref = [m.loss_and_grad(xs[r], ys[r])
+               for r, m in enumerate(_models(p))]
+        stacked = StackedModel(_models(p))
+        losses, gmat = stacked.loss_and_grad(xs, ys)
+        for r in range(p):
+            assert float(losses[r]) == ref[r][0]
+            np.testing.assert_array_equal(gmat[r], ref[r][1])
+
+    def test_repeated_calls_rezero_gradients(self):
+        p = 2
+        rng = np.random.default_rng(3)
+        xs, ys = _batch(rng, p)
+        stacked = StackedModel(_models(p))
+        _, g1 = stacked.loss_and_grad(xs, ys)
+        first = g1.copy()
+        _, g2 = stacked.loss_and_grad(xs, ys)
+        np.testing.assert_array_equal(first, g2)  # not accumulated twice
+
+    def test_spmd_invariant_violation_rejected_without_rebinding(self):
+        models = _models(3)
+        before = [m.params_flat.copy() for m in models]
+        models[1].params_flat[0] += 1.0
+        with pytest.raises(ValueError, match="SPMD invariant"):
+            StackedModel(models)
+        # the rejected bind left every model on its own storage
+        for m, b in zip(models, before):
+            assert m.params_flat.base is None or \
+                m.params_flat.base.ndim != 2
+        np.testing.assert_array_equal(models[0].params_flat, before[0])
+
+
+class TestStackRows:
+    def test_consecutive_rows_of_one_base_are_zero_copy(self):
+        base = np.arange(12, dtype=np.float32).reshape(3, 4).copy()
+        out = stack_rows([base[0], base[1], base[2]])
+        assert out is base
+
+    def test_unrelated_rows_are_stacked_by_copy(self):
+        rows = [np.arange(4, dtype=np.float32) * i for i in range(3)]
+        out = stack_rows(rows)
+        assert out.flags.owndata  # a fresh np.stack, not a shared base
+        np.testing.assert_array_equal(out, np.stack(rows))
+
+    def test_out_of_order_rows_fall_back_to_copy(self):
+        base = np.arange(8, dtype=np.float32).reshape(2, 4).copy()
+        out = stack_rows([base[1], base[0]])
+        assert out is not base
+        np.testing.assert_array_equal(out, np.stack([base[1], base[0]]))
+
+
+class TestBatchedTopk:
+    def test_batched_kth_matches_per_row(self):
+        rng = np.random.default_rng(5)
+        xs = rng.normal(size=(6, 257)).astype(np.float32)
+        for k in (1, 7, 64, 257, 400):
+            ths = batched_kth_largest_abs(xs, k)
+            assert ths.dtype == np.float64
+            for r in range(xs.shape[0]):
+                assert ths[r] == kth_largest_abs(xs[r], k)
+
+    def test_batched_threshold_select_matches_per_row(self):
+        rng = np.random.default_rng(6)
+        xs = rng.normal(size=(5, 300)).astype(np.float32)
+        # include exact ties at the threshold magnitude
+        xs[2, 10] = xs[2, 20] = -xs[2, 30]
+        ths = batched_kth_largest_abs(xs, 17)
+        outs = batched_threshold_select(xs, ths)
+        for r in range(xs.shape[0]):
+            ref = threshold_select(xs[r], float(ths[r]))
+            np.testing.assert_array_equal(outs[r].indices, ref.indices)
+            np.testing.assert_array_equal(outs[r].values, ref.values)
+
+    def test_batched_kth_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            batched_kth_largest_abs(np.zeros((2, 4), np.float32), 0)
+
+
+class TestExecutorFallbacks:
+    def test_fwd_bwd_diverged_weights_run_per_rank(self):
+        net = SimpleNamespace()
+        models = _models(2)
+        models[1].params_flat[3] -= 0.5
+        rng = np.random.default_rng(9)
+        xs, ys = _batch(rng, 2)
+        ref = [m.loss_and_grad(xs[r], ys[r])
+               for r, m in enumerate(_models(2))]
+        ref[1] = None  # recompute below against the diverged weights
+        out = _exec_fwd_bwd(net, ("rb_fwdbwd", 1),
+                            [(models[r], xs[r], ys[r]) for r in range(2)])
+        assert out[0][0] == ref[0][0]
+        np.testing.assert_array_equal(out[0][1], ref[0][1])
+        assert net._rank_batch_state.stacked is None  # never bound
+
+    def test_fwd_bwd_uneven_shards_run_per_rank(self):
+        net = SimpleNamespace()
+        models = _models(2)
+        rng = np.random.default_rng(10)
+        xs, ys = _batch(rng, 2)
+        payloads = [(models[0], xs[0], ys[0]),
+                    (models[1], xs[1][:-1], ys[1][:-1])]  # short shard
+        out = _exec_fwd_bwd(net, ("rb_fwdbwd", 1), payloads)
+        ref = _models(1)[0].loss_and_grad(xs[1][:-1], ys[1][:-1])
+        assert out[1][0] == ref[0]
+        np.testing.assert_array_equal(out[1][1], ref[1])
+
+    def test_accumulate_matches_per_rank_expression(self):
+        net = SimpleNamespace()
+        rng = np.random.default_rng(12)
+        res = rng.normal(size=(3, 50)).astype(np.float32)
+        grads = rng.normal(size=(3, 50)).astype(np.float32)
+        for scale in (1.0, 0.05):
+            out = _exec_accumulate(
+                net, ("rb_accumulate", 1),
+                [(res[r], scale, grads[r]) for r in range(3)])
+            for r in range(3):
+                np.testing.assert_array_equal(
+                    out[r], res[r] + scale * grads[r])
+
+    def test_accumulate_diverged_scales_run_per_rank(self):
+        net = SimpleNamespace()
+        rng = np.random.default_rng(13)
+        res = rng.normal(size=(2, 20)).astype(np.float32)
+        grads = rng.normal(size=(2, 20)).astype(np.float32)
+        out = _exec_accumulate(net, ("rb_accumulate", 1),
+                               [(res[0], 1.0, grads[0]),
+                                (res[1], 0.5, grads[1])])
+        np.testing.assert_array_equal(out[0], res[0] + 1.0 * grads[0])
+        np.testing.assert_array_equal(out[1], res[1] + 0.5 * grads[1])
+
+
+class TestEngagementGate:
+    def _gate(self, p=2, *, trace=False, runner="coop", env="1"):
+        proxy = perf_proxy()
+
+        def worker(comm):
+            rb = RankBatch(comm, proxy.make_model())
+            return rb.engaged()
+
+        old = os.environ.get(RANK_BATCH_ENV)
+        os.environ[RANK_BATCH_ENV] = env
+        try:
+            return run_spmd(p, worker, trace=trace, runner=runner).results
+        finally:
+            if old is None:
+                del os.environ[RANK_BATCH_ENV]
+            else:
+                os.environ[RANK_BATCH_ENV] = old
+
+    def test_engaged_on_coop_multirank(self):
+        assert self._gate() == [True, True]
+
+    def test_disengaged_under_threads_runner(self):
+        assert self._gate(runner="threads") == [False, False]
+
+    def test_disengaged_under_tracing(self):
+        assert self._gate(trace=True) == [False, False]
+
+    def test_disengaged_by_env(self):
+        assert self._gate(env="0") == [False, False]
+
+    def test_disengaged_under_fault_plan(self):
+        proxy = perf_proxy()
+
+        def worker(comm):
+            return RankBatch(comm, proxy.make_model()).engaged()
+
+        plan = FaultPlan(crashes=[RankCrash(rank=1, iteration=10**6)])
+        res = run_spmd(2, worker, faults=plan)
+        assert res.results == [False, False]
+
+    def test_unstackable_model_disengages(self):
+        def worker(comm):
+            return RankBatch(comm, object()).engaged()
+
+        assert run_spmd(2, worker).results == [False, False]
+
+
+def _fingerprints(rec):
+    return [asdict(r) for r in rec.records]
+
+
+def _train(scheme, p, iters, *, batch_env, runner="coop", faults=None,
+           elastic=False):
+    proxy = perf_proxy()
+    old = {k: os.environ.get(k) for k in (RANK_BATCH_ENV, RUNNER_ENV)}
+    os.environ[RANK_BATCH_ENV] = batch_env
+    os.environ[RUNNER_ENV] = runner
+    try:
+        return train_scheme(proxy, scheme, p, iters, density=0.05,
+                            network=proxy_network(), faults=faults,
+                            elastic=elastic)
+    finally:
+        for k, v in old.items():
+            if v is None:
+                del os.environ[k]
+            else:
+                os.environ[k] = v
+
+
+class TestTrainerLockstepIdentity:
+    @pytest.mark.parametrize("scheme", ["oktopk", "gtopk", "dense"])
+    def test_batched_equals_unbatched_equals_threads(self, scheme):
+        batched = _train(scheme, 4, 5, batch_env="1")
+        unbatched = _train(scheme, 4, 5, batch_env="0")
+        threads = _train(scheme, 4, 5, batch_env="1", runner="threads")
+        assert _fingerprints(batched) == _fingerprints(unbatched)
+        assert _fingerprints(batched) == _fingerprints(threads)
+
+    def test_batching_actually_engages(self):
+        """Guard against the identity above passing vacuously: a
+        fault-free coop run must have bound a stacked model."""
+        proxy = perf_proxy()
+        from repro.data import ShardedLoader
+        from repro.train import Trainer, TrainerConfig
+
+        def worker(comm):
+            train, _ = proxy.make_splits()
+            loader = ShardedLoader(train, proxy.global_batch, comm.rank,
+                                   comm.size, seed=0)
+            cfg = TrainerConfig(iterations=3, scheme="oktopk",
+                                density=0.05, lr=proxy.lr)
+            Trainer(comm, proxy.make_model(), loader, cfg).run()
+            return None
+
+        res = run_spmd(4, worker, runner="coop")
+        st = getattr(res.network, "_rank_batch_state", None)
+        assert st is not None and st.stacked is not None
+
+
+class TestDivergenceFallback:
+    def test_midrun_crash_identical_to_never_batched(self):
+        """A rank crash mid-iteration (elastic shrink to P-1) must yield
+        records identical to a run with batching disabled outright."""
+        plan = FaultPlan(crashes=[RankCrash(rank=1, iteration=3)])
+        on = _train("oktopk", 4, 6, batch_env="1", faults=plan,
+                    elastic=True)
+        off = _train("oktopk", 4, 6, batch_env="0", faults=plan,
+                     elastic=True)
+        assert _fingerprints(on) == _fingerprints(off)
+        assert on.events == off.events
+        assert on.events[0]["new_size"] == 3
+
+    def test_midrun_crash_identical_across_runners(self):
+        plan = FaultPlan(crashes=[RankCrash(rank=0, iteration=2)])
+        coop = _train("oktopk", 4, 5, batch_env="1", faults=plan,
+                      elastic=True)
+        threads = _train("oktopk", 4, 5, batch_env="1", runner="threads",
+                         faults=plan, elastic=True)
+        assert _fingerprints(coop) == _fingerprints(threads)
+        assert coop.events == threads.events

@@ -144,7 +144,6 @@ class TestTopkSelection:
         idx = topk_indices(x, k)
         assert idx.size == k
         assert np.all(np.diff(idx) > 0)
-        chosen = set(idx.tolist())
         threshold = kth_largest_abs(x, k)
         # every non-chosen element is <= threshold
         rest = np.abs(np.delete(x, idx))

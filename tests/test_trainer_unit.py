@@ -1,12 +1,10 @@
 """Trainer internals: scheme construction, overlap credit, xi scheduling."""
 
-import numpy as np
 import pytest
 
 from repro.allreduce import DenseAllreduce, OkTopkAllreduce
 from repro.comm import NetworkModel, run_spmd
 from repro.data import ShardedLoader, make_an4_like
-from repro.errors import ConfigError
 from repro.nn.models import make_lstm_speech_model
 from repro.train import Trainer, TrainerConfig, build_allreduce
 
