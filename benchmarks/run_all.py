@@ -4,7 +4,10 @@
 * default: every ``bench_*.py`` pytest benchmark (the paper-figure
   reproductions) followed by the wall-clock perf benchmark;
 * ``--quick``: a post-merge smoke check — the fast non-slow unit tests,
-  the fault-injection and serving smokes, plus
+  the fault-injection, serving and sanitizer smokes
+  (``sanitize_smoke.py``: P=4 train + serve bit-identical under
+  ``REPRO_SANITIZE=1``, every shipped scheme race-free under a perturbed
+  schedule, and the detectors proven live on injected bugs), plus
   ``bench_perf_wallclock.py --quick`` (a couple of minutes total).  The
   quick perf run covers the bucketed and streaming session cases for
   dense/topka/oktopk, so the Ok-Topk shared-state bucketed-stream path is
@@ -99,6 +102,7 @@ def main(argv=None) -> int:
                         "-m", "not slow", "tests"])
         rc |= _run([sys.executable, str(BENCH_DIR / "fault_smoke.py")])
         rc |= _run([sys.executable, str(BENCH_DIR / "serve_smoke.py")])
+        rc |= _run([sys.executable, str(BENCH_DIR / "sanitize_smoke.py")])
         quick_json = REPO_ROOT / "BENCH_PERF.quick.json"
         rc |= _run([sys.executable, str(BENCH_DIR / "bench_perf_wallclock.py"),
                     "--quick", "--out", str(quick_json)])

@@ -1,1 +1,19 @@
-from setuptools import setup; setup(python_requires=">=3.10")
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-oktopk",
+    version="0.9.0",
+    description="Ok-Topk sparse-allreduce reproduction: deterministic "
+                "simulated-MPI training/serving with static + runtime "
+                "correctness tooling",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.cli:main",
+            "repro-lint = repro.analysis.cli:main",
+        ],
+    },
+)

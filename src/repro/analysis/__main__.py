@@ -1,0 +1,5 @@
+"""``python -m repro.analysis`` — same entry point as ``repro-lint``."""
+
+from .cli import main
+
+raise SystemExit(main())

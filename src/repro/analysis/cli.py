@@ -1,0 +1,88 @@
+"""``repro-lint`` command line front-end.
+
+Exit codes: 0 clean, 1 findings, 2 unparseable/unreadable files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .core import ALL_RULES, META_CODE, lint_paths
+
+_DEFAULT_PATHS = ["src", "benchmarks", "tests"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro simulator "
+                    "(determinism, buffer ownership, fault guards, engine "
+                    "blocking discipline).")
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files or directories to lint "
+                        f"(default: {' '.join(_DEFAULT_PATHS)}, "
+                        f"skipping any that do not exist)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run "
+                        "(e.g. RL001,RL003); default: all")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(f"{META_CODE}  suppression-without-reason  (always on)")
+        for rule in ALL_RULES:
+            print(f"{rule.CODE}  {rule.NAME}")
+        return 0
+
+    rules = ALL_RULES
+    if args.select:
+        wanted = {c.strip().upper() for c in args.select.split(",")
+                  if c.strip()}
+        rules = [r for r in ALL_RULES if r.CODE in wanted]
+        unknown = wanted - {r.CODE for r in ALL_RULES} - {META_CODE}
+        if unknown:
+            print(f"repro-lint: unknown rule code(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+        paths = [p for p in _DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            print("repro-lint: none of the default paths "
+                  f"({', '.join(_DEFAULT_PATHS)}) exist here; "
+                  "pass paths explicitly", file=sys.stderr)
+            return 2
+
+    report = lint_paths(paths, rules)
+
+    if args.format == "json":
+        print(json.dumps(report.to_json_obj(), indent=2))
+        return report.exit_code
+
+    for path, msg in report.errors:
+        print(f"{path}: error: {msg}")
+    for f in report.findings:
+        print(f.format())
+    counts = report.counts()
+    summary = ", ".join(f"{c} x{n}" for c, n in sorted(counts.items()))
+    tail = f" ({summary})" if summary else ""
+    sup = f", {report.suppressed} suppressed" if report.suppressed else ""
+    print(f"repro-lint: {len(report.findings)} finding(s) in "
+          f"{report.files_checked} file(s){tail}{sup}")
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,236 @@
+"""RL001 — nondeterminism sources in simulation code.
+
+A run must be a pure function of (program, seed, plan).  Anything that
+reads ambient machine state breaks bit-identity across runs, runners and
+hosts:
+
+* wall/CPU clock reads: ``time.time``/``perf_counter``/``monotonic``/
+  ``process_time``/``strftime``/``localtime``/``gmtime``/``ctime``/
+  ``asctime``, ``datetime.now``/``today``/``utcnow``, and ``time.sleep``
+  (real time has no business in simulated time);
+* the **global** RNGs: ``np.random.<sampler>`` / ``random.<sampler>`` at
+  module level share hidden cross-call state — any reordering of callers
+  changes every subsequent draw.  Seeded generator *instances*
+  (``np.random.default_rng(seed)``, ``np.random.Generator``,
+  ``random.Random(seed)``) are the sanctioned replacements and are not
+  flagged;
+* ``os.urandom`` (hardware entropy);
+* ``id()`` feeding an ordering (``sorted``/``sort``/``min``/``max`` keys
+  or magnitude comparisons): CPython ids are allocation addresses —
+  identity-keyed *lookups* are fine, identity-keyed *order* is not;
+* ``for`` iteration over a set display/comprehension/``set()`` call: set
+  order is hash-seed dependent for str keys and insertion-history
+  dependent otherwise, so accumulating over it is order-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from .core import Finding
+
+CODE = "RL001"
+NAME = "nondeterminism-source"
+
+#: time-module attributes that read the real clock (or block on it)
+_TIME_ATTRS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic",
+    "monotonic_ns", "process_time", "process_time_ns", "sleep",
+    "strftime", "localtime", "gmtime", "ctime", "asctime",
+}
+_DATETIME_ATTRS = {"now", "today", "utcnow"}
+#: module-level numpy legacy samplers / global-state mutators
+_NP_RANDOM_ATTRS = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "binomial", "beta",
+    "gamma", "bytes", "get_state", "set_state",
+}
+#: stdlib random module-level samplers (random.Random instances are fine)
+_PY_RANDOM_ATTRS = {
+    "seed", "random", "randint", "randrange", "getrandbits", "choice",
+    "choices", "shuffle", "sample", "uniform", "triangular", "gauss",
+    "normalvariate", "expovariate", "betavariate", "gammavariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getstate", "setstate", "randbytes",
+}
+_ORDERING_FUNCS = {"sorted", "min", "max"}
+
+
+def applies(path: str) -> bool:
+    return True
+
+
+class _Aliases(ast.NodeVisitor):
+    """Resolve import aliases so ``import numpy as np`` and
+    ``from time import perf_counter`` are both caught."""
+
+    def __init__(self):
+        #: local name -> canonical module ("time", "numpy", "random", ...)
+        self.modules: Dict[str, str] = {}
+        #: local name -> ("module", attr) for from-imports
+        self.names: Dict[str, tuple] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for a in node.names:
+            root = a.name.split(".")[0]
+            self.modules[a.asname or root] = a.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for a in node.names:
+            self.names[a.asname or a.name] = (node.module, a.name)
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``np.random.rand`` -> ["np", "random", "rand"]; None if not a
+    plain name/attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, aliases: _Aliases, path: str):
+        self.al = aliases
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def _emit(self, node: ast.AST, msg: str) -> None:
+        self.findings.append(Finding(
+            self.path, node.lineno, node.col_offset + 1, CODE, msg))
+
+    # -- helpers --------------------------------------------------------
+    def _canonical(self, chain: List[str]) -> Optional[List[str]]:
+        """Rewrite the chain head through the import aliases:
+        ``np.random.rand`` -> ``numpy.random.rand``,
+        ``perf_counter`` (from-import) -> ``time.perf_counter``."""
+        head = chain[0]
+        if head in self.al.modules:
+            return self.al.modules[head].split(".") + chain[1:]
+        if head in self.al.names:
+            mod, attr = self.al.names[head]
+            return mod.split(".") + [attr] + chain[1:]
+        return None
+
+    def _check_call_target(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        canon = self._canonical(chain)
+        if canon is None:
+            return
+        dotted = ".".join(canon)
+        if canon[0] == "time" and len(canon) == 2 \
+                and canon[1] in _TIME_ATTRS:
+            what = "blocks on real time" if canon[1] == "sleep" \
+                else "reads the wall/CPU clock"
+            self._emit(node, f"{dotted}() {what}; simulation code must "
+                             f"use the simulated clock (comm.clock)")
+        elif canon[0] == "datetime" and canon[-1] in _DATETIME_ATTRS:
+            self._emit(node, f"{dotted}() reads the wall clock; derive "
+                             f"timestamps from the seed/plan instead")
+        elif canon[:2] == ["numpy", "random"] and len(canon) == 3 \
+                and canon[2] in _NP_RANDOM_ATTRS:
+            self._emit(node, f"{dotted}() uses numpy's *global* RNG "
+                             f"(hidden cross-call state); use a seeded "
+                             f"np.random.default_rng(seed) instance")
+        elif canon[0] == "random" and len(canon) == 2 \
+                and canon[1] in _PY_RANDOM_ATTRS:
+            self._emit(node, f"{dotted}() uses the stdlib *global* RNG; "
+                             f"use a seeded random.Random(seed) instance")
+        elif canon[0] == "os" and canon[-1] == "urandom":
+            self._emit(node, "os.urandom() draws hardware entropy; runs "
+                             "must be a pure function of the seed")
+
+    @staticmethod
+    def _contains_id_call(node: ast.AST) -> Optional[ast.Call]:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) \
+                    and isinstance(sub.func, ast.Name) \
+                    and sub.func.id == "id":
+                return sub
+        return None
+
+    def _check_id_ordering(self, node: ast.Call) -> None:
+        """``sorted(xs, key=id)`` / ``xs.sort(key=lambda v: id(v))`` /
+        ``min(..., key=id)``: object ids are allocation addresses."""
+        fname = None
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in _ORDERING_FUNCS:
+            fname = node.func.id
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "sort":
+            fname = "sort"
+        if fname is None:
+            return
+        for kw in node.keywords:
+            if kw.arg != "key":
+                continue
+            hit = self._contains_id_call(kw.value)
+            if hit is None and isinstance(kw.value, ast.Name) \
+                    and kw.value.id == "id":
+                hit = kw.value
+            if hit is not None:
+                self._emit(hit if isinstance(hit, ast.Call) else node,
+                           f"id() used as a {fname}() ordering key: "
+                           f"CPython ids are allocation addresses, not a "
+                           f"stable order")
+
+    # -- visitors -------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_call_target(node)
+        self._check_id_ordering(node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+               for op in node.ops):
+            hit = self._contains_id_call(node)
+            if hit is not None:
+                self._emit(hit, "id() compared by magnitude: object ids "
+                                "are allocation addresses, not a stable "
+                                "order")
+        self.generic_visit(node)
+
+    def _check_set_iter(self, iter_node: ast.AST) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self._emit(iter_node, "iteration over a set: element order is "
+                                  "hash/insertion dependent — sort it (or "
+                                  "use a list/dict) before accumulating")
+        elif isinstance(iter_node, ast.Call) \
+                and isinstance(iter_node.func, ast.Name) \
+                and iter_node.func.id in ("set", "frozenset"):
+            self._emit(iter_node, "iteration over set(...): element order "
+                                  "is hash/insertion dependent — use "
+                                  "sorted(...) for a stable order")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_set_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+
+def check(tree: ast.AST, src: str, path: str) -> List[Finding]:
+    aliases = _Aliases()
+    aliases.visit(tree)
+    checker = _Checker(aliases, path)
+    checker.visit(tree)
+    return checker.findings

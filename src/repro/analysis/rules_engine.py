@@ -1,0 +1,106 @@
+"""RL004 — GenEngine trampoline blocking discipline.
+
+The generator engine multiplexes every rank onto ONE OS thread (the
+trampoline).  A rank that cannot make progress must *raise*
+``_WouldBlock`` so the trampoline can run someone else; if trampoline
+code instead parks the OS thread (``lock.acquire()``, ``event.wait()``,
+``thread.join()``, ``time.sleep()``, a blocking ``queue.Queue``), every
+rank deadlocks at once — the single scariest failure mode of the
+continuation-passing design.
+
+This rule walks the ``GenEngine`` class in ``comm/engine.py`` and flags
+any threading/queue/blocking primitive outside the *sanctioned* methods
+— the handful of places that legitimately touch OS synchronisation
+because they sit on the boundary between the trampoline and the carrier
+threads that service ``Call`` escape-hatch thunks:
+
+* ``__init__`` (allocates the locks),
+* ``run`` / ``_trampoline`` (own the trampoline lock),
+* ``_hand_off`` (releases, never acquires, but hands the lock over),
+* ``_dispatch_carrier`` / ``_carrier_main`` (the carrier boundary).
+
+Everything else — ``_step``, the blocking-flavour ``match_blocking`` /
+``ensure_recvs`` / ``collective`` overrides, helpers — must stay
+raise-only.  Limitations (documented, acceptable for a lint): methods
+inherited from ``CoopEngine`` and free functions are out of scope, and
+the check is per-method syntactic rather than call-graph reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .core import Finding
+
+CODE = "RL004"
+NAME = "trampoline-blocking-call"
+
+_ENGINE_CLASS = "GenEngine"
+#: methods allowed to touch OS synchronisation (see module docstring)
+SANCTIONED = {
+    "__init__", "run", "_trampoline", "_hand_off",
+    "_dispatch_carrier", "_carrier_main",
+}
+#: attribute calls that can park the calling OS thread
+_BLOCKING_ATTRS = {"acquire", "join", "wait", "wait_for"}
+#: modules whose objects have no business in unsanctioned trampoline code
+_BANNED_MODULES = {"threading", "queue", "_thread", "multiprocessing"}
+#: read-only queries on those modules that cannot park a thread
+_NONBLOCKING_QUERIES = {"get_ident", "current_thread", "active_count",
+                        "main_thread", "get_native_id"}
+
+
+def applies(path: str) -> bool:
+    return path.endswith("comm/engine.py")
+
+
+def _chain_head(node: ast.AST) -> str:
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+class _MethodCheck(ast.NodeVisitor):
+    def __init__(self, path: str, method: str, findings: List[Finding]):
+        self.path = path
+        self.method = method
+        self.findings = findings
+
+    def _emit(self, node: ast.AST, msg: str) -> None:
+        self.findings.append(Finding(
+            self.path, node.lineno, node.col_offset + 1, CODE,
+            f"{_ENGINE_CLASS}.{self.method}: {msg}"))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            head = _chain_head(func)
+            if func.attr in _BLOCKING_ATTRS:
+                self._emit(node, f".{func.attr}() can park the trampoline "
+                                 f"OS thread; suspension must be expressed "
+                                 f"by raising _WouldBlock")
+            elif head == "time" and func.attr == "sleep":
+                self._emit(node, "time.sleep() blocks the trampoline; "
+                                 "simulated time never needs real sleeps")
+            elif head in _BANNED_MODULES \
+                    and func.attr not in _NONBLOCKING_QUERIES:
+                self._emit(node, f"{head}.{func.attr}() creates an OS "
+                                 f"synchronisation primitive outside the "
+                                 f"sanctioned carrier boundary")
+        self.generic_visit(node)
+
+
+def check(tree: ast.AST, src: str, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == _ENGINE_CLASS:
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                if item.name in SANCTIONED:
+                    continue
+                _MethodCheck(path, item.name, findings).visit(item)
+    findings.sort(key=lambda f: f.sort_key)
+    return findings

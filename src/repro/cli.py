@@ -231,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fused", action="store_true",
         help="force the per-message reference path for collectives "
              "(disables the fused fast path; same as REPRO_FUSED=0)")
+    ap.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the runtime sanitizer (same as REPRO_SANITIZE=1): "
+             "loan-window write checks, end-of-run mailbox audit, and the "
+             "schedule-perturbation race detector")
     sub = ap.add_subparsers(dest="command", required=True)
 
     vol = sub.add_parser("volume", help="measured vs analytic volume")
@@ -347,6 +352,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .comm import FUSED_ENV
         os.environ[FUSED_ENV] = "0"
+    if args.sanitize:
+        import os
+
+        from .comm import SANITIZE_ENV
+        os.environ[SANITIZE_ENV] = "1"
     return args.fn(args)
 
 

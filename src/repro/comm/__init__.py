@@ -33,7 +33,8 @@ from .communicator import AsyncRegion, SimComm
 from .engine import Call, CoopEngine, GenEngine, drive_program
 from .faults import ComputeStraggler, FaultPlan, LinkSlowdown, RankCrash
 from .fused import FUSED_ENV, fusion_enabled
-from .launcher import RUNNER_ENV, SpmdResult, resolve_runner, run_spmd
+from .launcher import RUNNER_ENV, SANITIZE_ENV, SpmdResult, \
+    resolve_runner, run_spmd, sanitize_enabled
 from .message import RecvRequest, Request, SendRequest
 from .model import NetworkModel
 from .network import Network, TrafficStats
@@ -47,6 +48,8 @@ __all__ = [
     "run_spmd",
     "resolve_runner",
     "RUNNER_ENV",
+    "SANITIZE_ENV",
+    "sanitize_enabled",
     "FUSED_ENV",
     "fusion_enabled",
     "Call",

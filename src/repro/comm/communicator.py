@@ -386,7 +386,7 @@ class SimComm:
         serialization of the message.  The buffer is reusable on return."""
         size = payload_nwords(obj) if nwords is None else int(nwords)
         payload = (send_snapshot(obj, self.net) if self.net.cooperative
-                   else _freeze(obj))
+                   else _freeze(obj, readonly=self.net.sanitize))
         _, done = self.net.post(self.slot, self._to_slot(dest), tag,
                                 payload, size, self.clock)
         self._advance_clock(done)
@@ -403,7 +403,10 @@ class SimComm:
         if self.net.cooperative:
             payload = _view_with_loans(obj, self.net, loan_keys)
         else:
-            payload = _freeze(obj)
+            # Sanitizer mode write-locks the receiver's copy so threads-
+            # mode runs enforce the same received-arrays-are-read-only
+            # contract the cooperative runner always enforces.
+            payload = _freeze(obj, readonly=self.net.sanitize)
         msg, done = self.net.post(self.slot, self._to_slot(dest), tag,
                                   payload, size, self.clock)
         if loan_keys:
@@ -436,7 +439,7 @@ class SimComm:
             if coop:
                 payload = _view_with_loans(obj, net, loan_keys)
             else:
-                payload = _freeze(obj)
+                payload = _freeze(obj, readonly=net.sanitize)
             all_loans.append(loan_keys)
             batch.append((self._to_slot(dest), tag, payload, size))
         msgs, dones = net.post_batch(self.slot, batch, self.clock)
@@ -474,7 +477,8 @@ class SimComm:
         if recvtag is None:
             recvtag = sendtag
         size = payload_nwords(obj) if nwords is None else int(nwords)
-        payload = _view(obj) if self.net.cooperative else _freeze(obj)
+        payload = _view(obj) if self.net.cooperative \
+            else _freeze(obj, readonly=self.net.sanitize)
         _, done = self.net.post(self.slot, self._to_slot(dest), sendtag,
                                 payload, size, self.clock)
         self.compute(self.net.model.o_inject)

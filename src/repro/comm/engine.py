@@ -33,6 +33,7 @@ scheduler bounce in between.  Consequences:
 from __future__ import annotations
 
 import inspect
+import random
 import threading
 from collections import Counter, deque
 from typing import Any, Callable, Dict, List, Tuple
@@ -67,12 +68,22 @@ class CoopEngine:
     """One-shot cooperative scheduler for a single SPMD section."""
 
     def __init__(self, net: Network, nranks: int, *,
-                 fused: Optional[bool] = None):
+                 fused: Optional[bool] = None,
+                 schedule_seed: Optional[int] = None):
         self.net = net
         self.nranks = nranks
         #: fused-collective fast path (see repro.comm.fused); resolved
         #: from REPRO_FUSED when not given explicitly
         self.fused = fusion_enabled() if fused is None else bool(fused)
+        #: schedule-perturbation source (sanitizer race detector): when
+        #: set, :meth:`_pop_ready` picks a seeded-random runnable rank
+        #: instead of the FIFO head.  Simulated time is
+        #: schedule-independent (links are booked in program order), so a
+        #: correct program is bit-identical under any seed; a program
+        #: whose outcome shifts is communicating through shared Python
+        #: state instead of the network.
+        self._sched_rng = (random.Random(schedule_seed)
+                          if schedule_seed is not None else None)
         #: in-progress fused collective, if any
         self._rv: Optional[_Rendezvous] = None
         #: ranks parked at the rendezvous (in arrival order)
@@ -153,6 +164,11 @@ class CoopEngine:
         # an abort unwound the receiver): restore writability directly.
         for key in list(net._loans):
             arr, _count = net._loans.pop(key)
+            if net.sanitize and arr.flags.writeable:
+                net._sanitize_violations.append(
+                    f"array(shape={arr.shape}, dtype={arr.dtype}) was "
+                    f"made writable during its loan window (loan still "
+                    f"open at section end)")
             arr.setflags(write=True)
 
     # ------------------------------------------------------------------
@@ -335,13 +351,27 @@ class CoopEngine:
         ranks left, control returns to the launcher.
         """
         if self._ready:
-            self._resume[self._ready.popleft()].release()
+            self._resume[self._pop_ready()].release()
             return
         rank = self._next_blocked()
         if rank is not None:
             self._resume[rank].release()
             return
         self._main.release()
+
+    def _pop_ready(self) -> int:
+        """Take the next runnable rank: FIFO head normally, a
+        seeded-random pick under schedule perturbation (the relative
+        order of the ranks left behind is preserved)."""
+        ready = self._ready
+        rng = self._sched_rng
+        if rng is not None and len(ready) > 1:
+            i = rng.randrange(len(ready))
+            ready.rotate(-i)
+            rank = ready.popleft()
+            ready.rotate(i)
+            return rank
+        return ready.popleft()
 
     def _next_blocked(self) -> Optional[int]:
         """Pick (and un-book) the next blocked rank to wake when nobody
@@ -552,8 +582,10 @@ class GenEngine(CoopEngine):
     """
 
     def __init__(self, net: Network, nranks: int, *,
-                 fused: Optional[bool] = None):
-        super().__init__(net, nranks, fused=fused)
+                 fused: Optional[bool] = None,
+                 schedule_seed: Optional[int] = None):
+        super().__init__(net, nranks, fused=fused,
+                         schedule_seed=schedule_seed)
         self._gens: List[Any] = [None] * nranks
         self._pending: List[Optional[Callable[[], Any]]] = [None] * nranks
         self._carrier: List[Optional[threading.Thread]] = [None] * nranks
@@ -614,7 +646,7 @@ class GenEngine(CoopEngine):
     def _trampoline(self) -> None:
         while True:
             if self._ready:
-                rank = self._ready.popleft()
+                rank = self._pop_ready()
                 if self._on_carrier[rank]:
                     # the continuation is a parked carrier thread: hand
                     # it the token and wait for it to come back
@@ -755,7 +787,12 @@ class GenEngine(CoopEngine):
             # non-generator section: plain cooperative behavior
             super()._hand_off()
             return
-        if self._ready and self._on_carrier[self._ready[0]]:
+        if self._sched_rng is None and self._ready \
+                and self._on_carrier[self._ready[0]]:
+            # Fast path: wake a parked carrier directly.  Skipped under
+            # schedule perturbation so every pick funnels through
+            # _pop_ready on the trampoline (which handles carriers too) —
+            # semantically equivalent, one extra lock round-trip.
             self._resume[self._ready.popleft()].release()
             return
         self._tramp_lock.release()

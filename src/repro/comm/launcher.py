@@ -34,12 +34,15 @@ from __future__ import annotations
 
 import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 import inspect
 
-from ..errors import CommError, RankFailedError, SimulatedRankCrash
+import numpy as np
+
+from ..errors import CommError, LoanViolationError, MailboxLeakError, \
+    RankFailedError, ScheduleRaceError, SimulatedRankCrash
 from .communicator import SimComm
 from .engine import CoopEngine, GenEngine, drive_program
 from .faults import FaultPlan
@@ -50,6 +53,14 @@ from .network import Network, TrafficStats
 #: explicit ``runner=``; accepts the same values as the argument.
 RUNNER_ENV = "REPRO_SPMD_RUNNER"
 
+#: environment variable enabling the runtime sanitizer mode
+#: (``run_spmd(sanitize=True)`` equivalent); truthy values: 1/true/yes/on.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: ready-queue perturbation seed used by the sanitizer's race-detector
+#: replay (any fixed seed works; exposed so tests can reference it).
+SANITIZE_SCHEDULE_SEED = 0xA11CE
+
 _RUNNER_ALIASES = {
     "coop": "coop",
     "cooperative": "coop",
@@ -58,6 +69,14 @@ _RUNNER_ALIASES = {
     "gen": "gen",
     "generator": "gen",
 }
+
+
+def sanitize_enabled(sanitize: Optional[bool] = None) -> bool:
+    """Resolve the sanitizer switch (argument > ``REPRO_SANITIZE`` > off)."""
+    if sanitize is not None:
+        return bool(sanitize)
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 def resolve_runner(runner: Optional[str] = None) -> str:
@@ -104,6 +123,7 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
              runner: Optional[str] = None,
              fused: Optional[bool] = None,
              faults: Optional[FaultPlan] = None,
+             sanitize: Optional[bool] = None,
              **kwargs: Any) -> SpmdResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``nranks`` ranks.
 
@@ -125,6 +145,23 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
             fused executors bypass the per-rank fault hooks).
         faults: declarative fault plan for this section (see module
             docstring); only valid with a fresh network.
+        sanitize: runtime sanitizer mode; ``None`` (default) defers to
+            the ``REPRO_SANITIZE`` environment variable (off unless
+            truthy).  On a clean section the sanitizer (1) raises
+            :class:`repro.errors.LoanViolationError` if any loaned
+            ``isend`` buffer was made writable during its loan window,
+            (2) raises :class:`repro.errors.MailboxLeakError` if any
+            message was left undelivered, and (3) — fresh-network,
+            fault-free, multi-rank coop/gen sections only — re-runs the
+            program under a seeded perturbation of the engine's ready
+            queue and raises :class:`repro.errors.ScheduleRaceError`
+            unless results, clocks and traffic counters are
+            bit-identical (simulated time is schedule-independent by
+            construction, so any divergence is a message race through
+            shared Python state).  Under the threaded runner, received
+            payload copies are additionally write-locked.  The replay
+            re-executes ``fn``; programs with external side effects
+            should not enable it.
 
     Returns:
         :class:`SpmdResult` with per-rank return values and the network.
@@ -142,8 +179,11 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
             "pass faults= only with a fresh network (the plan is compiled "
             "into the Network at construction); build the Network with "
             "faults= instead")
+    san = sanitize_enabled(sanitize)
     net = network if network is not None else Network(
-        nranks, model, trace=trace, faults=faults)
+        nranks, model, trace=trace, faults=faults, sanitize=san)
+    if san and network is not None:
+        net.sanitize = True
     if net.nranks != nranks:
         raise ValueError(
             f"network has {net.nranks} ranks but nranks={nranks} requested")
@@ -191,7 +231,82 @@ def run_spmd(nranks: int, fn: Callable[..., Any], *args: Any,
                 merged.update(e.failures)
             raise RankFailedError(merged)
         raise RankFailedError({**others, **crashes})
+    if net.sanitize:
+        _sanitize_audit(net)
+        if network is None and faults is None and nranks > 1 \
+                and which in ("coop", "gen"):
+            _sanitize_replay(net, nranks, fn, args, kwargs, which, fused,
+                             results)
     return SpmdResult(results, net)
+
+
+def _sanitize_audit(net: Network) -> None:
+    """End-of-section sanitizer checks on a cleanly completed run."""
+    if net._sanitize_violations:
+        violations = list(net._sanitize_violations)
+        net._sanitize_violations.clear()
+        raise LoanViolationError(violations)
+    leaks = net.undelivered_messages()
+    if leaks:
+        raise MailboxLeakError(leaks)
+
+
+def _sanitize_replay(net: Network, nranks: int, fn: Callable[..., Any],
+                     args: tuple, kwargs: dict, which: str,
+                     fused: Optional[bool], results: List[Any]) -> None:
+    """Race detector: re-run the section on a fresh network with a seeded
+    ready-queue perturbation and require a bit-identical outcome."""
+    net2 = Network(nranks, net.model, sanitize=True)
+    engine_cls = GenEngine if which == "gen" else CoopEngine
+    try:
+        results2, failures2 = engine_cls(
+            net2, nranks, fused=fused,
+            schedule_seed=SANITIZE_SCHEDULE_SEED).run(fn, args, kwargs)
+    except ScheduleRaceError:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - any divergence is a race
+        raise ScheduleRaceError(
+            [f"perturbed-schedule re-run raised "
+             f"{type(exc).__name__}: {exc}"]) from exc
+    if failures2:
+        raise ScheduleRaceError(
+            [f"rank {r} failed only under the perturbed schedule: "
+             f"{type(e).__name__}: {e}"
+             for r, e in sorted(failures2.items())])
+    diffs: List[str] = []
+    for rank in range(nranks):
+        if not _deep_equal(results[rank], results2[rank]):
+            diffs.append(f"rank {rank} result differs")
+    if net2.clocks != net.clocks:
+        diffs.append("simulated clocks differ")
+    for name in ("words_sent", "words_recv", "msgs_sent", "msgs_recv"):
+        if getattr(net2, name) != getattr(net, name):
+            diffs.append(f"traffic counters differ ({name})")
+    if diffs:
+        raise ScheduleRaceError(diffs)
+
+
+def _deep_equal(a: Any, b: Any) -> bool:
+    """Bit-identity comparison for rank results: exact dtype/shape/bytes
+    for arrays, structural recursion for containers and dataclasses."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and a.shape == b.shape
+                and a.tobytes() == b.tobytes())
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            _deep_equal(v, b[k]) for k, v in a.items())
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            _deep_equal(x, y) for x, y in zip(a, b))
+    if is_dataclass(a) and not isinstance(a, type):
+        return all(_deep_equal(getattr(a, f.name), getattr(b, f.name))
+                   for f in fields(a))
+    if isinstance(a, float):
+        return a == b or (a != a and b != b)  # NaN == NaN for bit-identity
+    return a == b
 
 
 def _run_inline(net: Network, fn: Callable[..., Any], args: tuple,

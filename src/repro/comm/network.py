@@ -87,7 +87,8 @@ class Network:
     _WAIT_TIMEOUT = 0.2
 
     def __init__(self, nranks: int, model: Optional[NetworkModel] = None, *,
-                 trace: bool = False, faults: Optional[FaultPlan] = None):
+                 trace: bool = False, faults: Optional[FaultPlan] = None,
+                 sanitize: bool = False):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         self.nranks = nranks
@@ -128,6 +129,14 @@ class Network:
         #: send-buffer loan registry (cooperative zero-copy mode):
         #: id(arr) -> [arr, refcount]; arrays are write-locked while loaned
         self._loans: Dict[int, list] = {}
+        #: runtime sanitizer mode (see repro.comm.launcher): loan-window
+        #: writability is verified at release, received threads-mode
+        #: snapshots are write-locked, and the launcher audits mailboxes
+        #: and replays under a perturbed schedule on success
+        self.sanitize = bool(sanitize)
+        #: human-readable loan-protocol violations collected while
+        #: ``sanitize`` is on (raised by the launcher at section end)
+        self._sanitize_violations: List[str] = []
         #: compiled fault plan; None keeps every hot path byte-identical to
         #: the fault-free simulator (see repro.comm.faults)
         self.fault_plan = faults
@@ -278,6 +287,9 @@ class Network:
         if sched is not None:
             sched.on_post_batch(msgs)
         else:
+            # repro-lint: ignore[RL001] -- per-dst wakeup order only decides
+            # which threads-runner waiter polls first; matching is by
+            # sequence number, so simulated state cannot depend on it.
             for dst in {it[0] for it in items}:
                 self._conds[dst].notify_all()
         return msgs, ends + m.o_send
@@ -446,6 +458,16 @@ class Network:
             entry = self._loans.get(key)
             if entry is None:  # pragma: no cover - defensive
                 continue
+            if self.sanitize and entry[0].flags.writeable:
+                # take_loan() write-locked this array; finding it writable
+                # at release means someone re-enabled writes mid-loan
+                # (a setflags bypass of the ownership contract).
+                arr = entry[0]
+                self._sanitize_violations.append(
+                    f"array(shape={arr.shape}, dtype={arr.dtype}) backing "
+                    f"message {msg.src}->{msg.dst} tag={msg.tag} "
+                    f"seq={msg.seq} was made writable during its loan "
+                    f"window")
             entry[1] -= 1
             if entry[1] == 0:
                 del self._loans[key]
@@ -511,6 +533,8 @@ class Network:
     def _crash_check(self, rank: int) -> None:
         """Die if ``rank``'s clock has reached its planned crash time
         (callers gate on ``self.faults is not None``)."""
+        # repro-lint: ignore[RL003] -- contract documented above: every
+        # caller gates on `self.faults is not None` before dispatching here.
         if self.clocks[rank] >= self.faults.crash_time[rank]:
             raise self._crash_now(rank)
 
@@ -647,6 +671,20 @@ class Network:
                     if msg.loans:
                         self.release_loans(msg)
                 chan.clear()
+
+    def undelivered_messages(self) -> List[dict]:
+        """Snapshot of every message still sitting in a mailbox, as dicts
+        with keys ``src``/``dst``/``tag``/``seq``/``nwords`` in
+        deterministic (dst, src, tag, seq) order.  The sanitizer's
+        end-of-section audit turns a non-empty answer into a
+        :class:`repro.errors.MailboxLeakError`."""
+        out: List[dict] = []
+        for dst, mailbox in enumerate(self._queues):
+            for (src, tag) in sorted(mailbox):
+                for msg in mailbox[(src, tag)]:
+                    out.append({"src": src, "dst": dst, "tag": tag,
+                                "seq": msg.seq, "nwords": msg.nwords})
+        return out
 
     def _serialize_batch_faulted(self, windows: list, free: float,
                                  avail: np.ndarray, nwords: np.ndarray,

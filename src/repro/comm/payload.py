@@ -24,7 +24,11 @@ def freeze(obj: Any, readonly: bool = False) -> Any:
     Self-sizing immutable payloads (``comm_nwords`` protocol, e.g.
     ``COOVector``) pass through untouched.  With ``readonly=True`` the
     snapshots are write-locked, matching the cooperative runner's
-    invariant that received arrays are never writable.
+    invariant that received arrays are never writable.  The threaded
+    runner historically handed receivers *writable* copies; under the
+    sanitizer mode (``Network.sanitize``) its post paths pass
+    ``readonly=True`` too, so both runners enforce (and repro-lint rule
+    RL002 statically checks) the same received-buffer ownership contract.
     """
     if obj is None or hasattr(obj, "comm_nwords"):
         return obj

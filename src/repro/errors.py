@@ -88,6 +88,81 @@ class DeadlockError(CommError):
         self.blocked = list(blocked or ())
 
 
+class SanitizerError(CommError):
+    """Base class for violations detected by the runtime sanitizer mode
+    (``REPRO_SANITIZE=1`` / ``run_spmd(sanitize=True)``; see
+    :mod:`repro.comm.launcher`).  A sanitizer error means the SPMD
+    section *completed* but broke a runtime invariant the normal mode
+    does not pay to check."""
+
+
+class LoanViolationError(SanitizerError):
+    """A loaned ``isend`` buffer was made writable during its loan window.
+
+    The loan protocol write-locks a sender's array from ``isend`` until
+    delivery (or seal); a direct write already raises ``ValueError`` in
+    the offending rank.  This error catches the sneakier bypass — code
+    that calls ``setflags(write=True)`` on a loaned array — detected at
+    loan release by the sanitizer.
+
+    Attributes:
+        violations: one human-readable record per violating loan.
+    """
+
+    def __init__(self, violations: list[str]):
+        self.violations = list(violations)
+        super().__init__(
+            f"{len(self.violations)} loaned send buffer(s) were made "
+            f"writable during their loan window: "
+            + "; ".join(self.violations))
+
+
+class MailboxLeakError(SanitizerError):
+    """Messages were still undelivered when the SPMD section completed.
+
+    Eager semantics make posting without a matching receive *legal*, but
+    a scheme that finishes an iteration with traffic still in flight is
+    almost always mismatched send/recv bookkeeping (wrong tag, wrong
+    round count) that happens not to deadlock.
+
+    Attributes:
+        leaks: one dict per undelivered message with keys
+            ``src``/``dst``/``tag``/``seq``/``nwords``.
+    """
+
+    def __init__(self, leaks: list[dict]):
+        self.leaks = list(leaks)
+        head = ", ".join(
+            f"{m['src']}->{m['dst']} tag={m['tag']} seq={m['seq']} "
+            f"({m['nwords']}w)" for m in self.leaks[:8])
+        more = f" (+{len(self.leaks) - 8} more)" if len(self.leaks) > 8 \
+            else ""
+        super().__init__(
+            f"{len(self.leaks)} message(s) left undelivered at section "
+            f"end: {head}{more}")
+
+
+class ScheduleRaceError(SanitizerError):
+    """A rank program's outcome depends on the scheduling order.
+
+    The sanitizer re-runs the section on a fresh network with a seeded
+    perturbation of the engine's ready queue; simulated time is
+    schedule-independent by construction, so results, clocks and traffic
+    counters must be bit-identical.  Any difference means the program
+    communicates through shared Python state (a message race) instead of
+    the simulated network.
+
+    Attributes:
+        differences: human-readable list of what diverged.
+    """
+
+    def __init__(self, differences: list[str]):
+        self.differences = list(differences)
+        super().__init__(
+            "outcome depends on scheduling order (message race): "
+            + "; ".join(self.differences))
+
+
 class SparseFormatError(ReproError):
     """A sparse vector violated its format invariants."""
 
