@@ -7,8 +7,10 @@ of faults.  Any dereference of the fault state (``self.faults.crash_time``,
 test therefore either crashes the common case or — worse — silently
 institutionalises a fault-plan dependency in the hot path.
 
-Scope: ``comm/network.py`` and ``comm/communicator.py`` only (the hot
-paths).  The rule recognises as a *fault expression* any attribute chain
+Scope: ``comm/network.py``, ``comm/communicator.py`` and
+``serve/loop.py`` (the hot paths; the serving loop's fault-free dispatch
+must stay a single ``faults is not None`` test).  The rule recognises as
+a *fault expression* any attribute chain
 ending in ``.faults`` / ``._faults``, the bare names ``faults`` /
 ``_faults`` (parameters), and local aliases bound from one
 (``f = net.faults``).  A dereference is an attribute access **on** a
@@ -41,7 +43,8 @@ _TERMINATORS = (ast.Return, ast.Raise, ast.Continue, ast.Break)
 
 
 def applies(path: str) -> bool:
-    return path.endswith(("comm/network.py", "comm/communicator.py"))
+    return path.endswith(("comm/network.py", "comm/communicator.py",
+                          "serve/loop.py"))
 
 
 def _key(node: ast.AST) -> Optional[str]:

@@ -98,8 +98,13 @@ def _parse_rank_factor(spec: str, what: str) -> tuple:
             f"bad {what} spec {spec!r}; expected RANK:FACTOR") from None
 
 
-def _build_fault_plan(args: argparse.Namespace):
-    """Assemble a FaultPlan from --fault-plan / the shorthand knobs."""
+def _build_fault_plan(args: argparse.Namespace, crash_unit: str = "iteration"):
+    """Assemble a FaultPlan from --fault-plan / the shorthand knobs.
+
+    ``crash_unit`` picks the ``--crash`` pinning: training crashes are
+    iteration-pinned (``RANK@ITER``), serving crashes are pinned to a
+    simulated time (``RANK@TIME`` seconds).
+    """
     from .comm.faults import (ComputeStraggler, FaultPlan, LinkSlowdown,
                               RankCrash)
 
@@ -117,11 +122,15 @@ def _build_fault_plan(args: argparse.Namespace):
         stragglers.append(ComputeStraggler(rank=rank, factor=factor))
     for spec in args.crash or ():
         try:
-            rank, _, it = spec.partition("@")
-            crashes.append(RankCrash(rank=int(rank), iteration=int(it)))
+            rank, _, at = spec.partition("@")
+            if crash_unit == "time":
+                crashes.append(RankCrash(rank=int(rank), time=float(at)))
+            else:
+                crashes.append(RankCrash(rank=int(rank), iteration=int(at)))
         except ValueError:
+            unit = "RANK@TIME" if crash_unit == "time" else "RANK@ITER"
             raise SystemExit(
-                f"bad --crash spec {spec!r}; expected RANK@ITER") from None
+                f"bad --crash spec {spec!r}; expected {unit}") from None
     if not (links or stragglers or crashes):
         return None
     return FaultPlan(links=links, stragglers=stragglers, crashes=crashes,
@@ -195,7 +204,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                         "--output-tokens"),
         max_batch_size=args.max_batch, max_wait=args.max_wait,
         hidden=args.hidden, layers=args.layers,
-        algorithm=args.algorithm, seed=args.seed)
+        algorithm=args.algorithm, seed=args.seed,
+        deadline=args.deadline, retry_budget=args.retry_budget)
+    faults = _build_fault_plan(args, crash_unit="time")
     workload = None
     if args.trace:
         workload = Workload.from_json(open(args.trace).read())
@@ -205,7 +216,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  {'offered req/s':>14s} {'goodput req/s':>14s} "
               f"{'goodput tok/s':>14s} {'ttft p99 (ms)':>14s} "
               f"{'itl p99 (ms)':>13s}")
-        for rep in sweep_load(cfg, args.sweep):
+        for rep in sweep_load(cfg, args.sweep, faults=faults):
             s = rep.summary()
             print(f"  {s['offered_req_per_s']:14.1f} "
                   f"{s['goodput_req_per_s']:14.1f} "
@@ -213,7 +224,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"{s['ttft_p99'] * 1e3:14.4f} "
                   f"{s['itl_p99'] * 1e3:13.4f}")
         return 0
-    rep = simulate_serving(cfg, workload=workload)
+    rep = simulate_serving(cfg, workload=workload, faults=faults)
     print(rep.format_report())
     return 0
 
@@ -336,6 +347,26 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="RATE",
                     help="goodput-vs-offered-load sweep over these rates "
                          "(prints one table row per rate)")
+    sv.add_argument("--deadline", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-request completion SLO relative to arrival "
+                         "(simulated seconds); enables timeout reaping and "
+                         "deadline-aware admission shedding")
+    sv.add_argument("--retry-budget", type=int, default=2,
+                    help="re-enqueue attempts per request after a rank "
+                         "crash before it is shed")
+    sv.add_argument("--fault-plan", default=None, metavar="PATH",
+                    help="JSON fault plan (repro.comm.FaultPlan schema); "
+                         "crashes trigger elastic shrink-and-resume under "
+                         "live traffic")
+    sv.add_argument("--slow-link", action="append", metavar="RANK:FACTOR",
+                    help="multiply RANK's link latency+inverse-bandwidth "
+                         "(merged into the fault plan)")
+    sv.add_argument("--straggler", action="append", metavar="RANK:FACTOR",
+                    help="multiply RANK's compute time")
+    sv.add_argument("--crash", action="append", metavar="RANK@TIME",
+                    help="crash RANK at the given simulated time in "
+                         "seconds; survivors shrink and resume")
     sv.set_defaults(fn=_cmd_serve)
     return ap
 

@@ -106,6 +106,14 @@ class SpmdResult:
         return self.network.makespan
 
     @property
+    def survivors(self) -> List[int]:
+        """Ranks that ran to completion — every rank on a clean run, the
+        elastic survivor set when scheduled crashes fired (their results
+        are the ones worth reading; see e.g. the serving loop)."""
+        return [r for r in range(len(self.results))
+                if r not in self.crashed]
+
+    @property
     def stats(self) -> TrafficStats:
         return self.network.stats()
 

@@ -17,10 +17,20 @@ Quick tour::
     report.summary()          # p50/p99 TTFT / inter-token / latency, goodput
     report.algorithms         # which allreduce schedule served which sizes
 
-Runs are a pure function of ``(seed, config)`` and bit-identical across
-the ``coop`` and ``threads`` runners — see :mod:`repro.serve.loop` for the
-decision-clock synchronization that keeps batching deterministic at
-non-power-of-two P.
+Serving survives the whole PR-6 fault model under live traffic: pass
+``simulate_serving(..., faults=FaultPlan(...))`` and slow links and
+stragglers degrade the clock honestly while rank crashes trigger elastic
+shrink-and-resume (checkpointed batcher state, consensus rollback, model
+rebuild at P-1, deterministic re-enqueue with capped backoff).  Request
+deadlines, timeout reaping and deadline-aware shedding ride the same
+fault-aware loop; the plan-less path stays byte-identical to a loop that
+has never heard of faults.
+
+Runs are a pure function of ``(seed, config, plan)`` and bit-identical
+across the ``coop``, ``gen`` and ``threads`` runners — see
+:mod:`repro.serve.loop` for the decision-clock synchronization that keeps
+batching deterministic at non-power-of-two P, and for the recovery
+walkthrough.
 """
 
 from .batcher import DynamicBatcher

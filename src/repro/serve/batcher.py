@@ -11,6 +11,16 @@ Continuous batching: while the engine is already decoding, newly arrived
 requests piggyback onto the running batch at the next step boundary
 (up to the free slots) without waiting for either trigger.
 
+Fault-tolerant serving adds two queue operations (both no-ops on the
+clean path): :meth:`requeue` re-inserts a request whose generated tokens
+died with a rank crash, releasing it at ``ready_at`` (its retry-backoff
+release time) instead of its original arrival; :meth:`expire` reaps
+queued requests whose completion deadline has already passed — timeout
+detection on the simulated clock, evaluated at decision points.
+:meth:`snapshot` / :meth:`restore` give the serving loop the
+checkpointed queue state it rolls back to when survivors resume after a
+``comm.shrink()``.
+
 Determinism contract: every rank of the tensor-parallel group runs one
 batcher instance over the *same* workload and feeds it the *same*
 decision times (the serving loop synchronizes its decision clock as data
@@ -19,15 +29,23 @@ admission never consults a rank-local clock.  Because the stream is open
 loop, the next admission time is a closed-form function of the pending
 arrivals (:meth:`next_decision`), which is what lets an idle server jump
 the simulated clock forward deterministically instead of polling.
+Requeued entries keep that closed form: the queue is ordered by
+``(ready_at, rid)``, a pure function of (seed, config, plan).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, List, Optional
+import bisect
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import ConfigError
 from .workload import Request, Workload
+
+#: queue entry: ``(ready_at, rid, request)`` — ``ready_at`` is the
+#: arrival for fresh requests, the backoff release time for retries; the
+#: unique ``rid`` tiebreak keeps ordering total without comparing
+#: ``Request`` objects.
+_Entry = Tuple[float, int, Request]
 
 
 class DynamicBatcher:
@@ -42,7 +60,10 @@ class DynamicBatcher:
             raise ConfigError(f"max_wait must be >= 0, got {max_wait}")
         self.max_batch_size = max_batch_size
         self.max_wait = max_wait
-        self._queue: Deque[Request] = deque(workload.requests)
+        # Arrivals are non-decreasing and rids increasing, so the initial
+        # queue is already in (ready_at, rid) order.
+        self._queue: List[_Entry] = [
+            (rq.arrival, rq.rid, rq) for rq in workload.requests]
 
     @property
     def pending(self) -> int:
@@ -51,8 +72,8 @@ class DynamicBatcher:
 
     def _arrived(self, now: float) -> int:
         n = 0
-        for rq in self._queue:
-            if rq.arrival > now:
+        for ready_at, _, _ in self._queue:
+            if ready_at > now:
                 break
             n += 1
         return n
@@ -72,25 +93,65 @@ class DynamicBatcher:
             return []
         if not engine_active:
             full = arrived >= self.max_batch_size
-            timed_out = now >= self._queue[0].arrival + self.max_wait
+            timed_out = now >= self._queue[0][0] + self.max_wait
             if not (full or timed_out):
                 return []
         take = min(arrived, free_slots, self.max_batch_size)
-        return [self._queue.popleft() for _ in range(take)]
+        out = [entry[2] for entry in self._queue[:take]]
+        del self._queue[:take]
+        return out
 
     def next_decision(self, now: float) -> Optional[float]:
         """Earliest simulated time at which an *idle* server's admission
         could fire: the arrival that completes a full batch, or the oldest
         pending request's max-wait deadline.  ``None`` once the stream is
-        drained.  Pure function of the pending arrivals, so every rank
-        computes the same jump target."""
+        drained.  Pure function of the pending arrivals (and retry
+        release times), so every rank computes the same jump target."""
         if not self._queue:
             return None
-        head = self._queue[0].arrival
+        head = self._queue[0][0]
         t_fire = head + self.max_wait
         if len(self._queue) >= self.max_batch_size:
-            t_full = self._queue[self.max_batch_size - 1].arrival
+            t_full = self._queue[self.max_batch_size - 1][0]
             if t_full < t_fire:
                 t_fire = t_full
         # Never before anything is pending (and never behind the clock).
         return max(t_fire, head, now)
+
+    # ------------------------------------------------------------------
+    # Fault-tolerant serving (no-ops on the clean path)
+    # ------------------------------------------------------------------
+    def requeue(self, rq: Request, ready_at: float) -> None:
+        """Re-insert a request whose in-flight tokens died with a crash;
+        it becomes admissible at ``ready_at`` (the retry-backoff release
+        time), keeping the queue (ready_at, rid)-ordered."""
+        bisect.insort(self._queue, (ready_at, rq.rid, rq))
+
+    def expire(self, now: float,
+               deadline_at: Callable[[Request], Optional[float]],
+               ) -> List[Request]:
+        """Reap queued requests whose absolute completion deadline (per
+        ``deadline_at``) has passed by ``now``; returns them in queue
+        order.  The serving loop marks them as first-class ``timeout``
+        terminals — expiry is detected at decision points, never from a
+        rank-local clock."""
+        expired: List[Request] = []
+        kept: List[_Entry] = []
+        for entry in self._queue:
+            dl = deadline_at(entry[2])
+            if dl is not None and now >= dl:
+                expired.append(entry[2])
+            else:
+                kept.append(entry)
+        if expired:
+            self._queue = kept
+        return expired
+
+    def snapshot(self) -> List[_Entry]:
+        """Copy of the queue state for the serving loop's recovery
+        checkpoints (entries are immutable tuples)."""
+        return list(self._queue)
+
+    def restore(self, snap: List[_Entry]) -> None:
+        """Roll the queue back to a :meth:`snapshot`."""
+        self._queue = list(snap)

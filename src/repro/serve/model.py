@@ -24,11 +24,14 @@ traffic, not the FLOP model, is the object of study here).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
 from ..comm import collectives as coll
 from ..comm.communicator import SimComm
+from ..comm.fused import (LATENCY_OPTIMAL, allreduce_analytic_seconds,
+                          bandwidth_optimal)
 from ..errors import ConfigError
 
 
@@ -103,3 +106,44 @@ class TPDecodeModel:
         # reduced output, so any cross-runner divergence compounds.
         self._carry = np.float32(1.0) + np.float32(0.5) * np.tanh(acts.mean())
         self.checksum += float(np.asarray(acts, dtype=np.float64).sum())
+
+    # ------------------------------------------------------------------
+    # Elastic recovery support (see repro.serve.loop)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[float, float]:
+        """The cross-step state ``(carry, checksum)``.  World-size
+        independent, so a snapshot taken at P restores into a model
+        rebuilt at the shrunken P-1 (gain tables are re-derived there by
+        consensus from the replicated seed)."""
+        return (float(self._carry), self.checksum)
+
+    def restore(self, snap: Tuple[float, float]) -> None:
+        """Restore :meth:`snapshot` state into this (possibly resized)
+        model; the checksum keeps accumulating across the failure."""
+        self._carry = np.float32(snap[0])
+        self.checksum = float(snap[1])
+
+    def min_service_seconds(self, prompt_tokens: int,
+                            output_tokens: int) -> float:
+        """Analytic lower bound on serving one request alone at the
+        current world size: per step, this rank's 1/P FLOP shard plus the
+        cheaper of the latency-/bandwidth-optimal allreduce schedules
+        (what ``algorithm="adaptive"`` would pick).  A pure function of
+        ``(cfg, comm.size, net.model)`` — every rank computes the same
+        bound, which is what makes deadline-aware shedding deterministic.
+        """
+        cfg, p = self.cfg, self.comm.size
+        net_model = self.comm.net.model
+
+        def step_seconds(tokens: int) -> float:
+            flops = cfg.flops_per_token_layer * tokens / p
+            words = tokens * cfg.words_per_token_layer
+            ar = min(
+                allreduce_analytic_seconds(p, words, net_model,
+                                           LATENCY_OPTIMAL),
+                allreduce_analytic_seconds(p, words, net_model,
+                                           bandwidth_optimal(p)))
+            return cfg.layers * (flops * net_model.flop_time + ar)
+
+        return (step_seconds(prompt_tokens)
+                + (output_tokens - 1) * step_seconds(1))

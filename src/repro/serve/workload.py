@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,17 @@ class Request:
     #: tokens to generate — one decode step each (the first comes out of
     #: the prefill pass)
     output_tokens: int
+    #: completion SLO relative to arrival (simulated seconds); ``None``
+    #: defers to the serving config's global deadline (which may also be
+    #: ``None`` — no deadline).  Consulted by the fault-aware serving
+    #: loop for timeout detection and deadline-aware admission control.
+    deadline: Optional[float] = None
+
+    def deadline_at(self, default: Optional[float] = None) -> Optional[float]:
+        """Absolute completion deadline, or ``None`` when neither the
+        request nor ``default`` carries an SLO."""
+        rel = self.deadline if self.deadline is not None else default
+        return None if rel is None else self.arrival + rel
 
 
 def _draw_tokens(rng: np.random.Generator, spec: TokenSpec,
@@ -71,6 +82,10 @@ class Workload:
             if rq.prompt_tokens < 1 or rq.output_tokens < 1:
                 raise ConfigError(
                     f"request {rq.rid} needs >= 1 prompt and output token")
+            if rq.deadline is not None and rq.deadline <= 0:
+                raise ConfigError(
+                    f"request {rq.rid} deadline must be > 0, "
+                    f"got {rq.deadline}")
             last = rq.arrival
 
     def __len__(self) -> int:
@@ -97,9 +112,12 @@ class Workload:
     def poisson(cls, n_requests: int, rate: float, *,
                 prompt_tokens: TokenSpec = 64,
                 output_tokens: TokenSpec = 4,
+                deadline: Optional[float] = None,
                 seed: int = 0) -> "Workload":
         """Seeded Poisson arrivals at ``rate`` requests per simulated
-        second; deterministic per ``(n_requests, rate, specs, seed)``."""
+        second; deterministic per ``(n_requests, rate, specs, seed)``.
+        ``deadline`` (optional) stamps every request with the same
+        relative completion SLO."""
         if n_requests < 1:
             raise ConfigError(f"n_requests must be >= 1, got {n_requests}")
         if rate <= 0:
@@ -110,29 +128,40 @@ class Workload:
         prompts = _draw_tokens(rng, prompt_tokens, n_requests, "prompt_tokens")
         outputs = _draw_tokens(rng, output_tokens, n_requests, "output_tokens")
         return cls(tuple(
-            Request(i, float(arrivals[i]), int(prompts[i]), int(outputs[i]))
+            Request(i, float(arrivals[i]), int(prompts[i]), int(outputs[i]),
+                    deadline)
             for i in range(n_requests)))
 
     @classmethod
     def from_arrivals(cls, arrivals: Sequence[float],
                       prompt_tokens: Sequence[int],
-                      output_tokens: Sequence[int]) -> "Workload":
+                      output_tokens: Sequence[int],
+                      deadlines: Optional[Sequence[Optional[float]]] = None,
+                      ) -> "Workload":
         """Trace-driven workload from explicit per-request columns."""
         if not (len(arrivals) == len(prompt_tokens) == len(output_tokens)):
             raise ConfigError("trace columns must have equal length")
+        if deadlines is not None and len(deadlines) != len(arrivals):
+            raise ConfigError("trace columns must have equal length")
         return cls(tuple(
             Request(i, float(arrivals[i]), int(prompt_tokens[i]),
-                    int(output_tokens[i]))
+                    int(output_tokens[i]),
+                    (None if deadlines is None or deadlines[i] is None
+                     else float(deadlines[i])))
             for i in range(len(arrivals))))
 
     # ------------------------------------------------------------------
     # Trace round-trip
     # ------------------------------------------------------------------
     def to_json(self) -> str:
-        return json.dumps([
-            {"arrival": rq.arrival, "prompt_tokens": rq.prompt_tokens,
-             "output_tokens": rq.output_tokens}
-            for rq in self.requests])
+        rows = []
+        for rq in self.requests:
+            row = {"arrival": rq.arrival, "prompt_tokens": rq.prompt_tokens,
+                   "output_tokens": rq.output_tokens}
+            if rq.deadline is not None:
+                row["deadline"] = rq.deadline
+            rows.append(row)
+        return json.dumps(rows)
 
     @classmethod
     def from_json(cls, text: str) -> "Workload":
@@ -140,4 +169,5 @@ class Workload:
         return cls.from_arrivals(
             [row["arrival"] for row in rows],
             [row["prompt_tokens"] for row in rows],
-            [row["output_tokens"] for row in rows])
+            [row["output_tokens"] for row in rows],
+            [row.get("deadline") for row in rows])

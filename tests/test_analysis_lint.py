@@ -229,7 +229,8 @@ class TestRL002:
 
 
 # ---------------------------------------------------------------------------
-# RL003 — fault-guard dominance (comm/network.py + comm/communicator.py)
+# RL003 — fault-guard dominance (comm/network.py, comm/communicator.py,
+# serve/loop.py)
 # ---------------------------------------------------------------------------
 NET = "src/repro/comm/network.py"
 
@@ -310,6 +311,43 @@ class TestRL003:
             return net.faults.crash_time[rank]
         """
         assert codes(src, "src/repro/comm/faults.py") == []
+
+    def test_serve_loop_unguarded_deref_fires(self):
+        # the serving loop is a hot path too: its fault-free dispatch
+        # must stay a single `faults is not None` test
+        src = """
+        def _rank_serve(comm, cfg, workload):
+            faults = comm.net.faults
+            timeout = faults.detect_timeout
+            return timeout
+        """
+        assert codes(src, "src/repro/serve/loop.py") == ["RL003"]
+
+    def test_serve_loop_assert_guard_passes(self):
+        src = """
+        def _rank_serve_faulted(comm, cfg, workload, faults):
+            assert faults is not None
+            timeout = faults.detect_timeout
+            return timeout
+        """
+        assert codes(src, "src/repro/serve/loop.py") == []
+
+    def test_serve_loop_dispatch_guard_passes(self):
+        src = """
+        def _rank_serve(comm, cfg, workload):
+            faults = comm.net.faults
+            if faults is not None:
+                return faults.detect_timeout
+            return 0.0
+        """
+        assert codes(src, "src/repro/serve/loop.py") == []
+
+    def test_other_serve_files_not_checked(self):
+        src = """
+        def f(comm):
+            return comm.net.faults.detect_timeout
+        """
+        assert codes(src, "src/repro/serve/batcher.py") == []
 
 
 # ---------------------------------------------------------------------------

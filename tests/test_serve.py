@@ -3,8 +3,8 @@
 The load-bearing assertions are the ISSUE-7 acceptance criteria:
 
 * a serving run is a pure function of ``(seed, config)`` — bit-identical
-  request records, percentiles, goodput and checksum across the ``coop``
-  and ``threads`` runners and the fused/unfused collective paths,
+  request records, percentiles, goodput and checksum across the ``coop``,
+  ``gen`` and ``threads`` runners and the fused/unfused collective paths,
   including non-power-of-two P (where per-rank clocks legitimately
   diverge and the loop's decision-clock sync is what keeps batching
   deterministic);
@@ -164,7 +164,7 @@ class TestServing:
     def test_bit_identical_across_runners_and_fused(self, p):
         cfg = replace(SMOKE, p=p, seed=11)
         base = None
-        for runner in ("coop", "threads"):
+        for runner in ("coop", "gen", "threads"):
             for fused in (True, False):
                 rep = simulate_serving(cfg, runner=runner, fused=fused)
                 # "unfused-small" notes a wall-clock profitability skip;
